@@ -1,0 +1,613 @@
+(* aqt_sim: command-line front end for the adversarial queuing simulator.
+
+   Subcommands:
+     params       - derived construction parameters for a given epsilon
+     instability  - run the Theorem 3.17 adversary and report seed growth
+     stability    - certify the Theorem 4.1/4.3 dwell bound on a workload
+     simulate     - free-form run: network x policy x stock adversary
+     sweep        - classify a rate grid as stable/growing/blowup *)
+
+open Cmdliner
+module Ratio = Aqt_util.Ratio
+module Build = Aqt_graph.Build
+module Network = Aqt_engine.Network
+module Sim = Aqt_engine.Sim
+module Policies = Aqt_policy.Policies
+module Stock = Aqt_adversary.Stock
+module Tbl = Aqt_util.Tbl
+
+(* ------------------------------------------------------------------ *)
+(* Argument converters                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ratio_conv =
+  let parse s =
+    match String.index_opt s '/' with
+    | Some i -> (
+        try
+          Ok
+            (Ratio.make
+               (int_of_string (String.sub s 0 i))
+               (int_of_string (String.sub s (i + 1) (String.length s - i - 1))))
+        with _ -> Error (`Msg (Printf.sprintf "bad rational %S" s)))
+    | None -> (
+        try Ok (Ratio.of_float_approx (float_of_string s))
+        with _ -> Error (`Msg (Printf.sprintf "bad rate %S" s)))
+  in
+  Arg.conv (parse, fun fmt r -> Ratio.pp fmt r)
+
+let policy_conv =
+  let parse s =
+    try Ok (Policies.by_name s)
+    with Not_found -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, fun fmt (p : Policies.t) -> Format.pp_print_string fmt p.name)
+
+(* Networks are named "line:K" or "ring:K"; routes are derived. *)
+type net_spec = Line of int | Ring of int
+
+let net_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "line"; k ] -> ( try Ok (Line (int_of_string k)) with _ -> Error (`Msg "bad size"))
+    | [ "ring"; k ] -> ( try Ok (Ring (int_of_string k)) with _ -> Error (`Msg "bad size"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown network %S (line:K | ring:K)" s))
+  in
+  let print fmt = function
+    | Line k -> Format.fprintf fmt "line:%d" k
+    | Ring k -> Format.fprintf fmt "ring:%d" k
+  in
+  Arg.conv (parse, print)
+
+let build_net ~d = function
+  | Line k ->
+      let l = Build.line k in
+      let d = min d k in
+      (l.graph, List.init (k - d + 1) (fun i -> Array.sub l.edges i d))
+  | Ring k ->
+      let r = Build.ring k in
+      let d = min d (k - 1) in
+      (r.graph, List.init k (fun i -> Array.init d (fun j -> r.edges.((i + j) mod k))))
+
+(* ------------------------------------------------------------------ *)
+(* params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let eps_arg =
+  Arg.(
+    value
+    & opt ratio_conv (Ratio.make 1 10)
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Instability margin: rate is 1/2 + EPS.")
+
+let params_cmd =
+  let run eps =
+    let p = Aqt.Params.make ~eps () in
+    let tbl = Tbl.create ~headers:[ "parameter"; "value"; "meaning" ] in
+    Tbl.set_align tbl [ Tbl.Left; Tbl.Right; Tbl.Left ];
+    Tbl.add_rows tbl
+      [
+        [ "eps"; Ratio.to_string eps; "instability margin" ];
+        [ "r = 1/2+eps"; Ratio.to_string p.rate; "injection rate" ];
+        [ "n"; Tbl.fi p.n; "gadget path length (Appendix)" ];
+        [ "S0"; Tbl.fi p.s0; "minimum seed queue (Appendix)" ];
+        [
+          "2(1-R_n)";
+          Tbl.ff (Aqt.Params.pump_factor ~r:p.r ~n:p.n);
+          "exact queue growth per pump";
+        ];
+        [
+          "M (theorem)";
+          Tbl.fi (Aqt.Params.chain_length ~eps:(Ratio.to_float eps) ());
+          "gadgets by the paper's pessimistic bound";
+        ];
+        [
+          "M (actual)";
+          Tbl.fi (Aqt.Params.chain_length_actual ~r:p.r ~n:p.n ());
+          "gadgets by the exact growth model";
+        ];
+      ];
+    Tbl.print tbl
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Show derived construction parameters")
+    Term.(const run $ eps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* instability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let instability_cmd =
+  let cycles =
+    Arg.(value & opt int 3 & info [ "cycles" ] ~doc:"Full adversary cycles.")
+  in
+  let s0 = Arg.(value & opt (some int) None & info [ "s0" ] ~doc:"Override S0.") in
+  let m = Arg.(value & opt (some int) None & info [ "gadgets"; "m" ] ~doc:"Override M.") in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Log every injection and check the rate-r constraint (Lemma 3.3).")
+  in
+  let save_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-log" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's injection log (with initial routes) to FILE for\n\
+             later replay with the `replay' subcommand.")
+  in
+  let run eps cycles s0 m validate save_log =
+    let cfg =
+      Aqt.Instability.config ~eps ?s0 ?m ~cycles
+        ~log_injections:(validate || save_log <> None)
+        ()
+    in
+    Printf.printf "r = %s, n = %d, S0 = %d, M = %d, seed = %d\n\n"
+      (Ratio.to_string cfg.params.rate)
+      cfg.params.n cfg.params.s0 cfg.m cfg.seed;
+    let res = Aqt.Instability.run cfg in
+    let tbl = Tbl.create ~headers:[ "cycle"; "start step"; "seed"; "growth" ] in
+    Array.iteri
+      (fun i (s : Aqt.Instability.cycle_stat) ->
+        Tbl.add_row tbl
+          [
+            Tbl.fi s.cycle;
+            Tbl.fi s.start_step;
+            Tbl.fi s.seed;
+            (if i = 0 then "-" else Tbl.ff res.growth.(i - 1) ^ "x");
+          ])
+      res.stats;
+    Tbl.print tbl;
+    Printf.printf "steps: %d, max queue: %d, reroutes: %d\n"
+      res.outcome.steps_run res.outcome.max_queue
+      (Network.reroute_count res.net);
+    if validate then begin
+      let mg = Aqt_graph.Digraph.n_edges res.gadget.graph in
+      match
+        Aqt_adversary.Rate_check.check_rate ~m:mg ~rate:cfg.params.rate
+          (Network.injection_log res.net)
+      with
+      | Ok () -> print_endline "rate-r constraint: LEGAL (Lemma 3.3 verified)"
+      | Error v ->
+          Format.printf "rate-r constraint: VIOLATED %a@."
+            Aqt_adversary.Rate_check.pp_violation v
+    end;
+    match save_log with
+    | None -> ()
+    | Some file ->
+        let meta =
+          [
+            ("n", string_of_int cfg.params.n);
+            ("m", string_of_int cfg.m);
+            ("rate", Ratio.to_string cfg.params.rate);
+          ]
+        in
+        Aqt_adversary.Log_io.save file
+          (Aqt_adversary.Log_io.of_network ~meta res.net);
+        Printf.printf "injection log written to %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "instability"
+       ~doc:"Run the Theorem 3.17 adversary: FIFO unstable at 1/2+eps")
+    Term.(const run $ eps_arg $ cycles $ s0 $ m $ validate $ save_log)
+
+(* ------------------------------------------------------------------ *)
+(* stability                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Policies.fifo
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Queuing policy (fifo|lifo|lis|nis|sis|ftg|ntg|ffs|nts).")
+
+let horizon_arg =
+  Arg.(value & opt int 20_000 & info [ "horizon" ] ~doc:"Steps to simulate.")
+
+let stability_cmd =
+  let d = Arg.(value & opt int 5 & info [ "hops"; "d" ] ~doc:"Route length.") in
+  let w = Arg.(value & opt int 60 & info [ "window"; "w" ] ~doc:"Adversary window.") in
+  let rate =
+    Arg.(
+      value
+      & opt (some ratio_conv) None
+      & info [ "rate" ] ~doc:"Injection rate (default 1/d or 1/(d+1)).")
+  in
+  let run policy d w rate horizon =
+    let rate =
+      match rate with
+      | Some r -> r
+      | None ->
+          if policy.Aqt_engine.Policy_type.time_priority then Ratio.make 1 d
+          else Ratio.make 1 (d + 1)
+    in
+    let line = Build.line d in
+    let net = Network.create ~log_injections:true ~graph:line.graph ~policy () in
+    let adv =
+      Stock.windowed_burst ~packed:true ~w ~rate ~routes:[ line.edges ]
+        ~horizon ()
+    in
+    ignore (Sim.run ~net ~driver:adv.driver ~horizon:(horizon + w) ());
+    let legal =
+      Aqt_adversary.Rate_check.check_windowed ~m:d ~w ~rate
+        (Network.injection_log net)
+      = Ok ()
+    in
+    Printf.printf
+      "policy=%s d=%d w=%d rate=%s | (w,r)-legal=%b max_queue=%d\n" policy.name
+      d w (Ratio.to_string rate) legal
+      (Network.max_queue_ever net);
+    match Aqt.Stability.verify_run ~w ~rate ~d net with
+    | Some v ->
+        Printf.printf
+          "dwell bound floor(w*r) = %d, observed max dwell = %d -> %s\n"
+          v.bound v.max_dwell_seen
+          (if v.ok then "CERTIFIED" else "VIOLATION (bug)")
+    | None ->
+        Printf.printf
+          "no theorem applies at rate %s (observed max dwell %d)\n"
+          (Ratio.to_string rate) (Network.max_dwell net)
+  in
+  Cmd.v
+    (Cmd.info "stability"
+       ~doc:"Certify the Theorem 4.1/4.3 dwell bound on a burst workload")
+    Term.(const run $ policy_arg $ d $ w $ rate $ horizon_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let net_arg =
+    Arg.(
+      value & opt net_conv (Ring 8)
+      & info [ "network" ] ~docv:"NET" ~doc:"Topology: line:K or ring:K.")
+  in
+  let d = Arg.(value & opt int 4 & info [ "hops"; "d" ] ~doc:"Route length.") in
+  let rate =
+    Arg.(
+      value & opt ratio_conv (Ratio.make 1 4)
+      & info [ "rate" ] ~doc:"Aggregate per-edge injection rate.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let stochastic =
+    Arg.(value & flag & info [ "stochastic" ] ~doc:"Bernoulli instead of bursts.")
+  in
+  let run spec policy d rate horizon seed stochastic =
+    let graph, routes = build_net ~d spec in
+    let nroutes = List.length routes in
+    let per_route = Ratio.div rate (Ratio.of_int (max 1 (min d nroutes))) in
+    let adv =
+      if stochastic then
+        Stock.bernoulli ~prng:(Aqt_util.Prng.create seed) ~rate:per_route
+          ~routes ()
+      else Stock.windowed_burst ~w:40 ~rate:per_route ~routes ~horizon ()
+    in
+    let net = Network.create ~graph ~policy () in
+    let outcome = Sim.run ~net ~driver:adv.driver ~horizon () in
+    Printf.printf
+      "%s on %d-edge graph, %d routes of length <= %d, rate %s (%s)\n"
+      policy.Aqt_engine.Policy_type.name
+      (Aqt_graph.Digraph.n_edges graph)
+      nroutes d (Ratio.to_string rate) adv.name;
+    Printf.printf
+      "steps=%d injected=%d absorbed=%d in-flight=%d\n" outcome.steps_run
+      (Network.injected_count net)
+      (Network.absorbed net) (Network.in_flight net);
+    Printf.printf "max queue=%d max dwell=%d mean latency=%.2f\n"
+      (Network.max_queue_ever net)
+      (Network.max_dwell net)
+      (Network.delivered_latency_mean net)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Free-form simulation run")
+    Term.(
+      const run $ net_arg $ policy_arg $ d $ rate $ horizon_arg $ seed
+      $ stochastic)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let net_arg =
+    Arg.(
+      value & opt net_conv (Ring 8)
+      & info [ "network" ] ~docv:"NET" ~doc:"Topology: line:K or ring:K.")
+  in
+  let d = Arg.(value & opt int 4 & info [ "hops"; "d" ] ~doc:"Route length.") in
+  let rates =
+    Arg.(
+      value
+      & opt (list ratio_conv)
+          [ Ratio.make 1 8; Ratio.make 1 4; Ratio.make 1 2; Ratio.make 3 4 ]
+      & info [ "rates" ] ~doc:"Comma-separated rates to test.")
+  in
+  let run spec d rates horizon =
+    let graph, routes = build_net ~d spec in
+    let tbl =
+      Tbl.create
+        ~headers:[ "policy"; "rate"; "verdict"; "max queue"; "final backlog" ]
+    in
+    List.iter
+      (fun policy ->
+        List.iter
+          (fun rate ->
+            let per_route =
+              Ratio.div rate (Ratio.of_int (max 1 (List.length routes)))
+            in
+            let adv =
+              Stock.shared_token_bucket ~rate:per_route ~routes ~horizon ()
+            in
+            let adv = { adv with Stock.rate } in
+            let report =
+              Aqt.Sweep.classify ~name:"sweep" ~graph ~policy ~adversary:adv
+                ~horizon ()
+            in
+            Tbl.add_row tbl
+              [
+                policy.Aqt_engine.Policy_type.name;
+                Ratio.to_string rate;
+                Aqt.Sweep.verdict_to_string report.verdict;
+                Tbl.fi report.max_queue;
+                Tbl.fi report.final_backlog;
+              ])
+          rates)
+      Policies.all_deterministic;
+    Tbl.print tbl
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Classify a policy x rate grid as stable/growing")
+    Term.(const run $ net_arg $ d $ rates $ horizon_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let s_arg =
+    Arg.(value & opt int 1000 & info [ "queue"; "s" ] ~doc:"The S of C(S, F).")
+  in
+  let run eps s =
+    let params = Aqt.Params.make ~eps () in
+    let g = Aqt.Gadget.cyclic ~n:params.n ~m:2 () in
+    let graph = g.graph in
+    let route_str route =
+      let labels = Array.map (Aqt_graph.Digraph.label graph) route in
+      if Array.length labels <= 5 then
+        String.concat ">" (Array.to_list labels)
+      else
+        Printf.sprintf "%s>..>%s (%d edges)" labels.(0)
+          labels.(Array.length labels - 1) (Array.length labels)
+    in
+    let flow_rows flows =
+      List.map
+        (fun f ->
+          [
+            Aqt_adversary.Flow.tag f;
+            route_str (Aqt_adversary.Flow.route f);
+            Tbl.fi (Aqt_adversary.Flow.start f);
+            Tbl.fi (Aqt_adversary.Flow.stop f);
+            Tbl.fi (Aqt_adversary.Flow.total f);
+          ])
+        flows
+    in
+    let show title rows =
+      Printf.printf "%s\n" title;
+      let tbl =
+        Tbl.create ~headers:[ "flow"; "route"; "start"; "stop"; "packets" ]
+      in
+      Tbl.set_align tbl [ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ];
+      Tbl.add_rows tbl rows;
+      Tbl.print tbl;
+      print_newline ()
+    in
+    Printf.printf
+      "Adversary schedules for eps=%s (r=%s, n=%d), measured queue S=%d,\n\
+       phase-relative times (start of phase = step 1):\n\n"
+      (Ratio.to_string eps)
+      (Ratio.to_string params.rate)
+      params.n s;
+    let sp = Aqt.Startup.plan ~params ~gadget:g ~start:1 ~total_seed:(2 * s) in
+    show
+      (Printf.sprintf
+         "Lemma 3.15 startup (duration %d, predicted S' = %d; plus a rate-r \
+          stream of %d short+long packets):"
+         sp.duration sp.s_target (Aqt_adversary.Flow.total sp.stream_counter))
+      (flow_rows sp.short_flows);
+    let pp =
+      Aqt.Pump.plan ~params ~gadget:g ~k:1 ~start:1 ~total_old:(2 * s)
+        ~s_ingress:s
+    in
+    show
+      (Printf.sprintf
+         "Lemma 3.6 pump (duration %d, predicted S' = %d, X = %d):" pp.duration
+         pp.s_target pp.x)
+      (flow_rows pp.flows);
+    let st =
+      Aqt.Stitch.plan ~rate:params.rate ~relay:(Aqt.Gadget.stitch_route g)
+        ~start:1 ~s
+    in
+    show
+      (Printf.sprintf
+         "Lemma 3.16 stitch (duration %d = S + rS + r^2S; fresh seeds r^3 S = \
+          %d):"
+         st.duration st.r3s)
+      (flow_rows st.flows)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Print the Lemma 3.15/3.6/3.16 adversary schedules for a given S")
+    Term.(const run $ eps_arg $ s_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fluid                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fluid_cmd =
+  let s_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "queue"; "s" ] ~doc:"Ingress population S of C(S, F).")
+  in
+  let run eps s =
+    let params = Aqt.Params.make ~eps () in
+    let p =
+      Aqt.Fluid.pump_profile ~r:params.r ~n:params.n ~total_old:(2 * s)
+    in
+    Printf.printf
+      "Fluid trajectories of one pump (Claims 3.9-3.11) at r=%s, n=%d, 2S=%d:\n\n"
+      (Ratio.to_string params.rate)
+      params.n (2 * s);
+    let tbl =
+      Tbl.create
+        ~headers:
+          [ "i"; "R_i"; "t_i"; "peak queue"; "peak at"; "old left at 2S+i" ]
+    in
+    for i = 1 to params.n do
+      let idx = i - 1 in
+      Tbl.add_row tbl
+        [
+          Tbl.fi i;
+          Tbl.ff ~dec:4 p.ri.(idx);
+          Tbl.ff ~dec:0 p.ti.(idx);
+          Tbl.ff ~dec:0 p.peak_queue.(idx);
+          Tbl.ff ~dec:0 p.peak_time.(idx);
+          Tbl.ff ~dec:0 p.final_old.(idx);
+        ]
+    done;
+    Tbl.print tbl;
+    Printf.printf
+      "S' = 2S(1-R_n) = %.0f; old packets past the egress by 2S+n: %.0f\n\
+       (run `bench/main.exe e14' to compare against the discrete simulation)\n"
+      p.s' p.crossed_egress
+  in
+  Cmd.v
+    (Cmd.info "fluid"
+       ~doc:"Evaluate the paper's fluid pump analysis for a given S")
+    Term.(const run $ eps_arg $ s_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE" ~doc:"Injection log (from --save-log).")
+  in
+  let settle =
+    Arg.(value & opt int 5000 & info [ "settle" ] ~doc:"Idle steps at the end.")
+  in
+  let run file policy settle =
+    let log = Aqt_adversary.Log_io.load file in
+    let meta_int k =
+      match Aqt_adversary.Log_io.meta_value log k with
+      | Some v -> int_of_string v
+      | None -> failwith (Printf.sprintf "log has no %S metadata" k)
+    in
+    let n = meta_int "n" and m = meta_int "m" in
+    let rate =
+      match Aqt_adversary.Log_io.meta_value log "rate" with
+      | Some v -> (
+          match String.split_on_char '/' v with
+          | [ p; q ] -> Ratio.make (int_of_string p) (int_of_string q)
+          | [ p ] -> Ratio.of_int (int_of_string p)
+          | _ -> failwith "bad rate metadata")
+      | None -> Ratio.one
+    in
+    let gadget = Aqt.Gadget.cyclic ~n ~m () in
+    let results =
+      Aqt.Baselines.replay_against ~initial:log.initial ~graph:gadget.graph
+        ~rate ~log:log.log ~policies:[ policy ] ~settle ()
+    in
+    List.iter
+      (fun (r : Aqt.Baselines.replay_result) ->
+        Printf.printf
+          "%s on %s: max_queue=%d backlog=%d absorbed=%d max_dwell=%d\n"
+          r.policy
+          (Aqt.Gadget.describe gadget)
+          r.max_queue r.backlog r.absorbed r.max_dwell)
+      results
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a recorded injection log under any policy (Lemma 3.3's A')")
+    Term.(const run $ file $ policy_arg $ settle)
+
+(* ------------------------------------------------------------------ *)
+(* workloads / spacetime                                               *)
+(* ------------------------------------------------------------------ *)
+
+let workloads_cmd =
+  let run () =
+    let tbl =
+      Tbl.create ~headers:[ "name"; "edges"; "routes"; "d"; "max overlap" ]
+    in
+    List.iter
+      (fun (s : Aqt_workload.Workloads.t) ->
+        Tbl.add_row tbl
+          [
+            s.name;
+            Tbl.fi (Aqt_graph.Digraph.n_edges s.graph);
+            Tbl.fi (List.length s.routes);
+            Tbl.fi s.d;
+            Tbl.fi (Aqt_workload.Workloads.max_overlap s);
+          ])
+      (Aqt_workload.Workloads.standard_grid ());
+    Tbl.print tbl
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"List the standard workload scenarios")
+    Term.(const run $ const ())
+
+let spacetime_cmd =
+  let seeds = Arg.(value & opt int 122 & info [ "seeds" ] ~doc:"Seed packets.") in
+  let run eps seeds =
+    let params =
+      Aqt.Params.make ~eps ~s0:(max 20 ((seeds - 2) / 2)) ()
+    in
+    let g = Aqt.Gadget.cyclic ~n:params.n ~m:2 () in
+    let net =
+      Network.create ~graph:g.graph ~policy:Policies.fifo ()
+    in
+    for _ = 1 to seeds do
+      ignore (Network.place_initial ~tag:"seed" net (Aqt.Gadget.seed_route g))
+    done;
+    let st = Aqt_engine.Spacetime.make net in
+    let run_phase phase =
+      let duration = ref 0 in
+      let wrapped : Aqt_adversary.Phased.phase =
+       fun net t ->
+        let d, dur = phase net t in
+        duration := dur;
+        (d, dur)
+      in
+      let driver =
+        Aqt_engine.Spacetime.driver_wrap st
+          (Aqt_adversary.Phased.sequence [ wrapped ])
+      in
+      ignore (Sim.run ~net ~driver ~horizon:1 ());
+      ignore (Sim.run ~net ~driver ~horizon:(!duration - 1) ())
+    in
+    run_phase (Aqt.Startup.phase ~params ~gadget:g);
+    run_phase (fun n t -> Aqt.Pump.phase ~params ~gadget:g ~k:1 n t);
+    Aqt_engine.Spacetime.print st
+  in
+  Cmd.v
+    (Cmd.info "spacetime"
+       ~doc:"Heat map of a startup+pump run on a two-gadget chain")
+    Term.(const run $ eps_arg $ seeds)
+
+let () =
+  let doc = "adversarial queuing theory simulator (Lotker-Patt-Shamir-Rosen)" in
+  let info = Cmd.info "aqt_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            params_cmd; instability_cmd; stability_cmd; simulate_cmd;
+            sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
+            spacetime_cmd;
+          ]))

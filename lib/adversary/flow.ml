@@ -1,0 +1,57 @@
+module Ratio = Aqt_util.Ratio
+
+type t = {
+  tag : string;
+  max_total : int option;
+  route : int array;
+  rate : Ratio.t;
+  start : int;
+  stop : int;
+}
+
+let make ?(tag = "flow") ?max_total ~route ~rate ~start ~stop () =
+  if start > stop then invalid_arg "Flow.make: start > stop";
+  if Array.length route = 0 then invalid_arg "Flow.make: empty route";
+  if Ratio.(rate <= zero) || Ratio.(rate > one) then
+    invalid_arg "Flow.make: rate must be in (0, 1]";
+  (match max_total with
+  | Some m when m < 0 -> invalid_arg "Flow.make: negative max_total"
+  | _ -> ());
+  { tag; max_total; route; rate; start; stop }
+
+let route f = f.route
+let tag f = f.tag
+let start f = f.start
+let stop f = f.stop
+
+let cumulative f t =
+  if t < f.start then 0
+  else begin
+    let t = min t f.stop in
+    let raw = Ratio.floor_mul f.rate (t - f.start + 1) in
+    match f.max_total with None -> raw | Some m -> min raw m
+  end
+
+let count_at f t = cumulative f t - cumulative f (t - 1)
+let total f = cumulative f f.stop
+
+let last_injection_step f =
+  let n = total f in
+  if n = 0 then None
+  else begin
+    (* Binary search for the first step whose cumulative count reaches n. *)
+    let lo = ref f.start and hi = ref f.stop in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative f mid >= n then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+let injections_at flows t =
+  List.concat_map
+    (fun f ->
+      let c = count_at f t in
+      List.init c (fun _ : Aqt_engine.Network.injection ->
+          { route = f.route; tag = f.tag }))
+    flows

@@ -1,0 +1,179 @@
+module Ratio = Aqt_util.Ratio
+module Dyn = Aqt_util.Dynarray_compat
+
+type violation = { edge : int; t1 : int; t2 : int; count : int; allowed : int }
+
+let pp_violation fmt v =
+  Format.fprintf fmt
+    "edge %d: %d packets injected in [%d,%d] but only %d allowed" v.edge
+    v.count v.t1 v.t2 v.allowed
+
+(* Per-edge event lists: (time, multiplicity), times strictly increasing.
+   Routes are simple, so one packet contributes at most once per edge. *)
+let bucketize ~m log =
+  let buckets = Array.init m (fun _ -> Dyn.create ()) in
+  let prev_time = ref min_int in
+  Array.iter
+    (fun (t, route) ->
+      if t < !prev_time then
+        invalid_arg "Rate_check: log not sorted by injection time";
+      if t < 1 then invalid_arg "Rate_check: injection before step 1";
+      prev_time := t;
+      Array.iter
+        (fun e ->
+          if e < 0 || e >= m then invalid_arg "Rate_check: edge out of range";
+          let b = buckets.(e) in
+          if (not (Dyn.is_empty b)) && fst (Dyn.last b) = t then begin
+            let _, c = Dyn.last b in
+            Dyn.set b (Dyn.length b - 1) (t, c + 1)
+          end
+          else Dyn.push b (t, 1))
+        route)
+    log;
+  buckets
+
+(* Scan one edge's events with the potential D_t = q*S_t - p*t.  Returns the
+   maximum over t2 of (D_t2 - min_(u < t2) D_u) along with a witness, which is
+   enough for both the exact check (violation iff max > q - 1) and the
+   burstiness measure. *)
+let scan_edge ~p ~q events =
+  let s = ref 0 in
+  (* Minimum of D_u for u < current event time, with its witness. *)
+  let min_d = ref 0 and min_t = ref 0 and min_s = ref 0 in
+  let worst = ref min_int in
+  let witness = ref None in
+  Dyn.iter
+    (fun (t, c) ->
+      let candidate = (q * !s) - (p * (t - 1)) in
+      if candidate < !min_d then begin
+        min_d := candidate;
+        min_t := t - 1;
+        min_s := !s
+      end;
+      s := !s + c;
+      let d = (q * !s) - (p * t) in
+      let excess = d - !min_d in
+      if excess > !worst then begin
+        worst := excess;
+        witness := Some (!min_t + 1, t, !s - !min_s)
+      end)
+    events;
+  (!worst, !witness)
+
+let check_rate ~m ~rate log =
+  let p = Ratio.num rate and q = Ratio.den rate in
+  let buckets = bucketize ~m log in
+  let result = ref (Ok ()) in
+  (try
+     for e = 0 to m - 1 do
+       let worst, witness = scan_edge ~p ~q buckets.(e) in
+       if worst > q - 1 then begin
+         match witness with
+         | Some (t1, t2, count) ->
+             result :=
+               Error
+                 {
+                   edge = e;
+                   t1;
+                   t2;
+                   count;
+                   allowed = Ratio.ceil_mul rate (t2 - t1 + 1);
+                 };
+             raise Exit
+         | None -> assert false
+       end
+     done
+   with Exit -> ());
+  !result
+
+let check_rate_brute ~m ~rate log =
+  let buckets = bucketize ~m log in
+  let result = ref (Ok ()) in
+  (try
+     for e = 0 to m - 1 do
+       let events = Dyn.to_array buckets.(e) in
+       let n = Array.length events in
+       for i = 0 to n - 1 do
+         let count = ref 0 in
+         for j = i to n - 1 do
+           let t1 = fst events.(i) and t2 = fst events.(j) in
+           count := !count + snd events.(j);
+           let allowed = Ratio.ceil_mul rate (t2 - t1 + 1) in
+           if !count > allowed && !result = Ok () then
+             result := Error { edge = e; t1; t2; count = !count; allowed }
+         done
+       done;
+       if !result <> Ok () then raise Exit
+     done
+   with Exit -> ());
+  !result
+
+let check_windowed ~m ~w ~rate log =
+  if w < 1 then invalid_arg "Rate_check.check_windowed: w must be positive";
+  let allowed = Ratio.floor_mul rate w in
+  let buckets = bucketize ~m log in
+  let result = ref (Ok ()) in
+  (try
+     for e = 0 to m - 1 do
+       let events = Dyn.to_array buckets.(e) in
+       let n = Array.length events in
+       let i = ref 0 and sum = ref 0 in
+       for j = 0 to n - 1 do
+         sum := !sum + snd events.(j);
+         let t2 = fst events.(j) in
+         while fst events.(!i) <= t2 - w do
+           sum := !sum - snd events.(!i);
+           incr i
+         done;
+         if !sum > allowed && !result = Ok () then
+           result :=
+             Error { edge = e; t1 = t2 - w + 1; t2; count = !sum; allowed }
+       done;
+       if !result <> Ok () then raise Exit
+     done
+   with Exit -> ());
+  !result
+
+let check_leaky ~m ~b ~rate log =
+  if b < 0 then invalid_arg "Rate_check.check_leaky: negative burst";
+  let p = Ratio.num rate and q = Ratio.den rate in
+  let buckets = bucketize ~m log in
+  let result = ref (Ok ()) in
+  (try
+     for e = 0 to m - 1 do
+       (* count <= r*len + b  <=>  D_t2 - D_u <= q*b  (integer arithmetic). *)
+       let worst, witness = scan_edge ~p ~q buckets.(e) in
+       if worst > q * b then begin
+         match witness with
+         | Some (t1, t2, count) ->
+             let len = t2 - t1 + 1 in
+             result :=
+               Error
+                 {
+                   edge = e;
+                   t1;
+                   t2;
+                   count;
+                   allowed = Ratio.floor_mul rate len + b;
+                 };
+             raise Exit
+         | None -> assert false
+       end
+     done
+   with Exit -> ());
+  !result
+
+let burstiness ~m ~rate log =
+  let p = Ratio.num rate and q = Ratio.den rate in
+  let buckets = bucketize ~m log in
+  let worst = ref 0 in
+  for e = 0 to m - 1 do
+    let excess, _ = scan_edge ~p ~q buckets.(e) in
+    (* Slack b needed on this edge: count <= ceil(r*len) + b translates to
+       excess - q*b <= q - 1. *)
+    if excess > q - 1 then begin
+      let need = (excess - (q - 1) + q - 1) / q in
+      if need > !worst then worst := need
+    end
+  done;
+  !worst

@@ -1,0 +1,66 @@
+(** Exact validation of injection sequences against adversary definitions.
+
+    Two adversary classes appear in the paper:
+
+    - a {e rate-r adversary} (used for the instability results) may inject, in
+      every time interval [[t1, t2]] and for every edge [e], at most
+      [ceil (r * (t2 - t1 + 1))] packets whose routes require [e];
+    - a {e (w,r) adversary} (Def 2.1, used for the stability results) may
+      inject, in every window of [w] consecutive steps and for every edge,
+      at most [floor (r * w)] packets requiring that edge.
+
+    Both checks are exact (integer arithmetic on [r = p/q], no floats).  The
+    all-intervals rate-r condition is checked in O(1) amortized per injection
+    via the potential [D_t = q*S_t - p*t], where [S_t] is the per-edge
+    injection prefix count: the condition holds iff
+    [D_t2 - min_(u < t2) D_u <= q - 1] for all [t2].
+
+    Checking the {e final effective routes} of a run that used rerouting
+    against the plain rate-r condition is exactly the content of Lemma 3.3:
+    the dynamic adversary is equivalent to a static rate-r adversary. *)
+
+type violation = {
+  edge : int;
+  t1 : int;
+  t2 : int;
+  count : int;  (** Packets requiring [edge] injected during [[t1, t2]]. *)
+  allowed : int;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_rate :
+  m:int -> rate:Aqt_util.Ratio.t -> (int * int array) array ->
+  (unit, violation) result
+(** [check_rate ~m ~rate log] validates a log of [(injection time, route)]
+    pairs, sorted by time, on a graph with [m] edges, against the rate-r
+    all-intervals condition.  Routes must be simple (each edge at most once
+    per route).  Returns the first violation found (smallest edge id, then
+    earliest [t2]). *)
+
+val check_rate_brute :
+  m:int -> rate:Aqt_util.Ratio.t -> (int * int array) array ->
+  (unit, violation) result
+(** Reference implementation enumerating all intervals; O(T^2) per edge.
+    For cross-validation in tests only. *)
+
+val check_windowed :
+  m:int -> w:int -> rate:Aqt_util.Ratio.t -> (int * int array) array ->
+  (unit, violation) result
+(** Validates the log against the (w,r) windowed condition of Def 2.1:
+    at most [floor (r * w)] packets requiring any edge per window of [w]
+    consecutive steps. *)
+
+val check_leaky :
+  m:int -> b:int -> rate:Aqt_util.Ratio.t -> (int * int array) array ->
+  (unit, violation) result
+(** Validates against the original Borodin et al. leaky-bucket condition: at
+    most [r * len + b] packets requiring any edge over every interval of
+    [len] steps ([b >= 0] is the burst allowance).  [b = 0] is the strictest
+    form; the rate-r condition of this paper sits between [b = 0] and
+    [b = 1]. *)
+
+val burstiness :
+  m:int -> rate:Aqt_util.Ratio.t -> (int * int array) array -> int
+(** The smallest [b >= 0] such that every interval and edge satisfy
+    [count <= ceil (r * len) + b]; 0 iff [check_rate] accepts. *)

@@ -1,0 +1,135 @@
+module Ratio = Aqt_util.Ratio
+module Sim = Aqt_engine.Sim
+
+type t = {
+  name : string;
+  rate : Ratio.t;
+  window : int option;
+  exact : bool;
+  driver : Sim.driver;
+}
+
+let of_flows ~name ~rate ?window flows =
+  {
+    name;
+    rate;
+    window;
+    exact = true;
+    driver = Sim.injections_only (fun _ t -> Flow.injections_at flows t);
+  }
+
+let token_bucket ?(name = "token-bucket") ~rate ~routes ~horizon () =
+  let flows =
+    List.map
+      (fun route -> Flow.make ~tag:name ~route ~rate ~start:1 ~stop:horizon ())
+      routes
+  in
+  of_flows ~name ~rate flows
+
+let shared_token_bucket ?(name = "shared-bucket") ~rate ~routes ~horizon () =
+  let routes = Array.of_list routes in
+  if Array.length routes = 0 then invalid_arg "Stock.shared_token_bucket";
+  (* One bucket; the k-th released packet takes routes.(k mod n).  Arrival
+     counts come from a single flow on a dummy route, so the cumulative
+     release count is floor(rate * t). *)
+  let counter =
+    Flow.make ~route:routes.(0) ~rate ~start:1 ~stop:horizon ()
+  in
+  let driver =
+    Sim.injections_only (fun _ t ->
+        let from = Flow.cumulative counter (t - 1)
+        and upto = Flow.cumulative counter t in
+        List.init (upto - from) (fun i : Aqt_engine.Network.injection ->
+            {
+              route = routes.((from + i) mod Array.length routes);
+              tag = name;
+            }))
+  in
+  { name; rate; window = None; exact = true; driver }
+
+let windowed_burst ?(name = "window-burst") ?(packed = false) ~w ~rate ~routes
+    ~horizon () =
+  if w < 1 then invalid_arg "Stock.windowed_burst: w must be positive";
+  let per_window = Ratio.floor_mul rate w in
+  let routes = Array.of_list routes in
+  let one_per_route =
+    Array.to_list
+      (Array.map
+         (fun route : Aqt_engine.Network.injection -> { route; tag = name })
+         routes)
+  in
+  let driver =
+    Sim.injections_only (fun _ t ->
+        if t > horizon then []
+        else begin
+          let offset = (t - 1) mod w in
+          if packed then
+            if offset = 0 then
+              List.concat (List.init per_window (fun _ -> one_per_route))
+            else []
+          else if offset < per_window then one_per_route
+          else []
+        end)
+  in
+  { name; rate; window = Some w; exact = true; driver }
+
+let leaky_bucket ?(name = "leaky-bucket") ~b ~rate ~routes ~horizon () =
+  if b < 0 then invalid_arg "Stock.leaky_bucket: negative burst";
+  let flows =
+    List.map
+      (fun route -> Flow.make ~tag:name ~route ~rate ~start:1 ~stop:horizon ())
+      routes
+  in
+  let routes_arr = Array.of_list routes in
+  let driver =
+    Sim.injections_only (fun _ t ->
+        let burst =
+          if t = 1 then
+            List.concat
+              (List.init b (fun _ ->
+                   Array.to_list
+                     (Array.map
+                        (fun route : Aqt_engine.Network.injection ->
+                          { route; tag = name })
+                        routes_arr)))
+          else []
+        in
+        burst @ Flow.injections_at flows t)
+  in
+  { name; rate; window = None; exact = true; driver }
+
+let replay ?(name = "replay") ~rate log =
+  (* Index the log by time once; lookups per step are then O(count). *)
+  let by_time = Hashtbl.create (Array.length log) in
+  Array.iter
+    (fun (t, route) ->
+      let prev = try Hashtbl.find by_time t with Not_found -> [] in
+      Hashtbl.replace by_time t (route :: prev))
+    log;
+  Hashtbl.iter
+    (fun t routes -> Hashtbl.replace by_time t (List.rev routes))
+    (Hashtbl.copy by_time);
+  let driver =
+    Sim.injections_only (fun _ t ->
+        match Hashtbl.find_opt by_time t with
+        | None -> []
+        | Some routes ->
+            List.map
+              (fun route : Aqt_engine.Network.injection ->
+                { route; tag = name })
+              routes)
+  in
+  { name; rate; window = None; exact = true; driver }
+
+let bernoulli ?(name = "bernoulli") ~prng ~rate ~routes () =
+  let num = Ratio.num rate and den = Ratio.den rate in
+  let driver =
+    Sim.injections_only (fun _ _ ->
+        List.filter_map
+          (fun route ->
+            if Aqt_util.Prng.bernoulli prng ~num ~den then
+              Some ({ route; tag = name } : Aqt_engine.Network.injection)
+            else None)
+          routes)
+  in
+  { name; rate; window = None; exact = false; driver }

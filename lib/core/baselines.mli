@@ -1,0 +1,52 @@
+(** Prior-work context the paper compares against (§1, §5).
+
+    The exact networks of the historical FIFO instability bounds are not in
+    this paper; we reproduce their numbers as a reference table, the Díaz et
+    al. network-dependent stability formula, and the cross-policy experiment
+    that makes the paper's point concrete: the Theorem 3.17 injection
+    sequence destabilizes FIFO but leaves the universally stable policies
+    (LIS, FTG) bounded on the same network. *)
+
+type threshold = {
+  source : string;
+  year : int;
+  rate : float;  (** FIFO shown unstable for rates above this value. *)
+  note : string;
+}
+
+val fifo_instability_thresholds : threshold list
+(** Andrews et al. 0.85, Díaz et al. 0.8357, Koukopoulos et al. 0.749, this
+    paper 0.5 (+ε), and Bhattacharjee–Goel 0 (any rate; subsequent work). *)
+
+val diaz_stability_bound : d:int -> m:int -> alpha:int -> Aqt_util.Ratio.t
+(** The per-network FIFO stability bound of Díaz et al., [1 / (2 d m alpha)]:
+    FIFO is stable on a network with [m] edges, max in-degree [alpha] and
+    longest route [d] below this rate.  Compare with this paper's
+    network-independent [1/d]. *)
+
+val this_paper_bound : d:int -> Aqt_util.Ratio.t
+(** [1/d] (Theorem 4.3, FIFO is time-priority). *)
+
+type replay_result = {
+  policy : string;
+  max_queue : int;
+  backlog : int;  (** Packets still in flight when the script ends. *)
+  absorbed : int;
+  max_dwell : int;
+}
+
+val replay_against :
+  ?initial:int array array ->
+  graph:Aqt_graph.Digraph.t ->
+  rate:Aqt_util.Ratio.t ->
+  log:(int * int array) array ->
+  policies:Aqt_engine.Policy_type.t list ->
+  settle:int ->
+  unit ->
+  replay_result list
+(** Replays a recorded injection log (the static form of a Theorem 3.17
+    adversary) against each policy on a fresh copy of the network, running
+    [settle] extra idle steps after the last injection so stable policies can
+    drain.  [initial] places an initial configuration (one packet per route)
+    before the run — pass [Network.initial_final_routes] of the recorded run
+    to reproduce its seeds.  Returns one row per policy. *)

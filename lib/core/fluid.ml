@@ -1,0 +1,64 @@
+type profile = {
+  r : float;
+  n : int;
+  total_old : int;
+  ri : float array;
+  ti : float array;
+  peak_time : float array;
+  peak_queue : float array;
+  final_old : float array;
+  s' : float;
+  crossed_egress : float;
+  duration : int;
+}
+
+let pump_profile ~r ~n ~total_old =
+  if n < 1 then invalid_arg "Fluid.pump_profile: n must be >= 1";
+  if total_old < 1 then invalid_arg "Fluid.pump_profile: empty queue";
+  let two_s = float_of_int total_old in
+  let ri = Array.init (n + 1) (fun idx -> Params.ri ~r (idx + 1)) in
+  let ti = Array.init n (fun idx -> two_s /. (r +. ri.(idx))) in
+  let peak_time = Array.init n (fun idx -> float_of_int (idx + 1) +. ti.(idx)) in
+  let peak_queue =
+    Array.init n (fun idx -> (ri.(idx) +. r -. 1.0) *. ti.(idx))
+  in
+  let final_old = Array.init n (fun idx -> (two_s -. ti.(idx)) *. ri.(idx)) in
+  {
+    r;
+    n;
+    total_old;
+    ri;
+    ti;
+    peak_time;
+    peak_queue;
+    final_old;
+    s' = two_s *. (1.0 -. ri.(n - 1));
+    crossed_egress = two_s *. ri.(n - 1);
+    duration = total_old + n;
+  }
+
+let check_i p i =
+  if i < 1 || i > p.n then invalid_arg "Fluid: edge index out of range"
+
+let queue_at p ~i ~t =
+  check_i p i;
+  let fi = float_of_int i in
+  let two_s = float_of_int p.total_old in
+  let ri = p.ri.(i - 1) and ti = p.ti.(i - 1) in
+  if t <= fi then 0.0
+  else if t <= fi +. ti then (ri +. p.r -. 1.0) *. (t -. fi)
+  else if t <= two_s +. fi then
+    ((ri +. p.r -. 1.0) *. ti) -. ((1.0 -. ri) *. (t -. fi -. ti))
+  else begin
+    (* Arrivals over: the leftover old queue drains at rate 1. *)
+    let at_end = (two_s -. ti) *. ri in
+    Float.max 0.0 (at_end -. (t -. two_s -. fi))
+  end
+
+let arrivals_at p ~i ~t =
+  check_i p i;
+  let fi = float_of_int i in
+  let two_s = float_of_int p.total_old in
+  let ri = p.ri.(i - 1) in
+  if t <= fi then 0.0
+  else Float.min (two_s *. ri) (ri *. (t -. fi))

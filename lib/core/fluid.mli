@@ -1,0 +1,43 @@
+(** The fluid-limit analysis of the pump (Claims 3.8–3.12), as executable
+    formulas.
+
+    Lemma 3.6's proof tracks piecewise-linear fluid trajectories: old packets
+    arrive at the tail of [e'_i] at rate [R_i] during [[i+1, 2S+i]]
+    (Claim 3.9), the buffer of [e'_i] fills at rate [R_i + r - 1] while the
+    part-(2) short flow runs and drains at [1 - R_i] afterwards, the short
+    packets are gone exactly at [2S+i] leaving [(2S - t_i) R_i] old packets
+    (Claim 3.11), and [2S R_n] old packets cross the egress by [2S+n]
+    (Claim 3.10).
+
+    This module evaluates those trajectories so experiments can compare the
+    paper's analysis against the discrete simulation point by point — not
+    just at the phase boundary.  All times are relative to the phase start
+    ([tau = 0] in the paper's notation). *)
+
+type profile = {
+  r : float;
+  n : int;
+  total_old : int;  (** The 2S of the analysis. *)
+  ri : float array;  (** [ri.(i-1)] = R_i, for i = 1..n+1. *)
+  ti : float array;  (** [ti.(i-1)] = t_i = 2S / (r + R_i). *)
+  peak_time : float array;  (** Buffer of [e'_i] peaks at [i + t_i]. *)
+  peak_queue : float array;  (** Peak size [(R_i + r - 1) t_i]. *)
+  final_old : float array;
+      (** Old packets left in [e'_i] at time [2S+i]: [(2S - t_i) R_i]. *)
+  s' : float;  (** [2S (1 - R_n)] — both sides of C(S', F'). *)
+  crossed_egress : float;  (** Old packets past [a''] by [2S+n]: [2S R_n]. *)
+  duration : int;  (** [2S + n]. *)
+}
+
+val pump_profile : r:float -> n:int -> total_old:int -> profile
+
+val queue_at : profile -> i:int -> t:float -> float
+(** Fluid prediction of the total population of [e'_i]'s buffer at relative
+    time [t]: 0 before [i], filling at [R_i + r - 1] on [[i, i + t_i]],
+    draining at [1 - R_i] until [2S + i], then (old packets only, arrivals
+    over) draining at full rate 1 until empty.
+    @raise Invalid_argument if [i] is outside [1..n]. *)
+
+val arrivals_at : profile -> i:int -> t:float -> float
+(** Fluid count of old packets that have arrived at the tail of [e'_i] by
+    time [t] (Claim 3.9: rate [R_i] on [[i, 2S+i]], capped at [2S R_i]). *)

@@ -1,0 +1,42 @@
+(** The gadget invariant C(S, F_n) of Definition 3.5.
+
+    C(S, F(k)) holds when: (1) the buffers of the e-path hold S packets in
+    total; (2) every e-buffer is nonempty and its packets' remaining routes
+    are exactly [e_i, .., e_n, a_k]; (3) the ingress buffer holds S packets
+    with remaining route [a_(k-1), f_1, .., f_n, a_k]; (4) the gadget holds
+    nothing else.
+
+    [measure] reports the state of each clause; [check_strict] demands all of
+    them exactly.  The adversaries in this reproduction are exact-integer
+    realizations of fluid-limit schedules, so after a pump phase the invariant
+    holds up to small additive slack — experiments use [measure] with a
+    tolerance, while unit tests exercise [check_strict] on hand-built
+    states. *)
+
+type measurement = {
+  s_epath : int;  (** Total packets in the e-path buffers. *)
+  s_ingress : int;  (** Packets in the ingress buffer. *)
+  empty_e_buffers : int;  (** e-buffers that are empty (clause 2 wants 0). *)
+  bad_e_routes : int;  (** e-path packets with unexpected remaining routes. *)
+  bad_ingress_routes : int;
+  extraneous : int;  (** Packets in the gadget's f-path buffers. *)
+  egress_occupancy : int;
+      (** Packets in the egress buffer — in a chain this buffer belongs to
+          the next gadget's invariant, so it is reported separately. *)
+}
+
+val measure : Aqt_engine.Network.t -> Gadget.t -> k:int -> measurement
+
+val check_strict :
+  Aqt_engine.Network.t -> Gadget.t -> k:int -> (int, string) result
+(** Returns [Ok s] iff C(s, F(k)) holds exactly. *)
+
+val holds_with_slack :
+  slack:int -> Aqt_engine.Network.t -> Gadget.t -> k:int -> bool
+(** C(S, F(k)) up to integrality: no empty e-buffer, at most [slack] packets
+    with unexpected routes or in the f-path, and
+    [|s_epath - s_ingress| <= slack] with both positive.  (The egress buffer
+    is not constrained; it belongs to the next gadget.) *)
+
+val gadget_occupancy : Aqt_engine.Network.t -> Gadget.t -> k:int -> int
+(** Total packets in all buffers of gadget [k]. *)

@@ -1,0 +1,50 @@
+(** The gadget-pump adversary of Lemma 3.6.
+
+    Preconditions (measured, not assumed): C(S, F(k)) holds, gadget k+1 is
+    empty, and the edges of gadget k+1 are new in the sense of Def 3.2.  The
+    phase then, over [2S + n] steps,
+
+    + extends the routes of all 2S old packets of gadget k by
+      [e'_1..e'_n, a''] (rerouting, Lemma 3.3);
+    + injects rate-r single-edge flows on each [e'_i] during
+      [[i, i + t_i]] with [t_i = 2S / (r + R_i)];
+    + injects [rS] long packets on [a, f_1..f_n, a', f'_1..f'_n, a'']
+      during [[1, S]];
+    + injects [X = S' - rS + n] packets on [a', f'_1..f'_n, a''] in the first
+      [X/r] steps of [[S+n+1, 2S+n]].
+
+    Postcondition (Lemma 3.6): C(S', F(k+1)) holds with
+    [S' = 2S (1 - R_n) >= S (1 + eps)], and gadget k is empty. *)
+
+type plan = {
+  total_old : int;  (** The measured 2S. *)
+  s_ingress : int;  (** The measured ingress population S. *)
+  duration : int;  (** 2S + n. *)
+  s_target : int;  (** The predicted S'. *)
+  x : int;  (** The part-(4) injection count. *)
+  flows : Aqt_adversary.Flow.t list;
+}
+
+val plan :
+  params:Params.t ->
+  gadget:Gadget.t ->
+  k:int ->
+  start:int ->
+  total_old:int ->
+  s_ingress:int ->
+  plan
+(** Pure schedule computation; [start] is the phase's first step. *)
+
+val phase :
+  ?flow_filter:(Aqt_adversary.Flow.t -> bool) ->
+  params:Params.t ->
+  gadget:Gadget.t ->
+  k:int ->
+  Aqt_adversary.Phased.phase
+(** The full phase: measures gadget [k], reroutes its old packets, and runs
+    the planned flows.  [flow_filter] keeps only the flows it accepts — used
+    by the ablation experiments to knock out parts (2)/(3)/(4) of the
+    adversary (flow tags are ["short<i>"], ["long"], ["tail"]); the default
+    keeps everything.
+    @raise Failure if the gadget holds no old packets or rerouting
+    preconditions fail. *)

@@ -1,0 +1,99 @@
+module Network = Aqt_engine.Network
+module Packet = Aqt_engine.Packet
+module Ratio = Aqt_util.Ratio
+
+type error =
+  | Policy_not_historic of string
+  | No_shared_edge
+  | Stale_edge of { edge : int; last_used : int; threshold : int }
+  | Packet_absorbed of int
+  | Invalid_path of string
+
+let pp_error fmt = function
+  | Policy_not_historic name ->
+      Format.fprintf fmt "policy %s is not historic (Def 3.1)" name
+  | No_shared_edge ->
+      Format.fprintf fmt "packets do not share a common route edge"
+  | Stale_edge { edge; last_used; threshold } ->
+      Format.fprintf fmt
+        "edge %d is not new (Def 3.2): last injected at %d, threshold %d" edge
+        last_used threshold
+  | Packet_absorbed id -> Format.fprintf fmt "packet #%d already absorbed" id
+  | Invalid_path msg -> Format.fprintf fmt "invalid path: %s" msg
+
+let ( let* ) r f = Result.bind r f
+
+let check_new_edges ~rate net suffix =
+  (* Def 3.2: new edges must be absent from every route injected at time
+     tau >= t* - ceil(1/r). *)
+  let t_star = Network.min_injection_time_in_flight net in
+  let threshold = t_star - Ratio.ceil (Ratio.inv rate) in
+  let rec go i =
+    if i >= Array.length suffix then Ok ()
+    else begin
+      let e = suffix.(i) in
+      let last_used = Network.last_injection_on net e in
+      if last_used >= threshold then Error (Stale_edge { edge = e; last_used; threshold })
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let shared_edge_exists packets =
+  match packets with
+  | [] -> true
+  | (first : Packet.t) :: rest ->
+      let remaining (p : Packet.t) =
+        Array.to_seq (Array.sub p.route p.hop (Array.length p.route - p.hop))
+      in
+      let candidate_edges = remaining first in
+      Seq.exists
+        (fun e ->
+          List.for_all
+            (fun (p : Packet.t) -> Seq.exists (Int.equal e) (remaining p))
+            rest)
+        candidate_edges
+
+let extend_all ~rate net ~packets ~suffix =
+  if packets = [] || Array.length suffix = 0 then Ok ()
+  else begin
+    let policy = Network.policy net in
+    let* () =
+      if policy.historic then Ok () else Error (Policy_not_historic policy.name)
+    in
+    let* () =
+      match List.find_opt Packet.is_absorbed packets with
+      | Some p -> Error (Packet_absorbed p.id)
+      | None -> Ok ()
+    in
+    let* () = if shared_edge_exists packets then Ok () else Error No_shared_edge in
+    let* () = check_new_edges ~rate net suffix in
+    (* Validate every extension before mutating anything. *)
+    let graph = Network.graph net in
+    let extended (p : Packet.t) = Array.append p.route suffix in
+    let* () =
+      let rec validate = function
+        | [] -> Ok ()
+        | p :: rest ->
+            let route = extended p in
+            if Aqt_graph.Digraph.route_is_simple graph route then validate rest
+            else
+              Error
+                (Invalid_path
+                   (Format.asprintf "packet #%d: %a" p.Packet.id
+                      (Aqt_graph.Digraph.pp_route graph)
+                      route))
+      in
+      validate packets
+    in
+    List.iter
+      (fun (p : Packet.t) ->
+        (* Network.reroute replaces everything beyond the next edge; keep the
+           old remainder and append the suffix. *)
+        let keep =
+          Array.sub p.route (p.hop + 1) (Array.length p.route - p.hop - 1)
+        in
+        Network.reroute net p (Array.append keep suffix))
+      packets;
+    Ok ()
+  end

@@ -1,0 +1,62 @@
+module Network = Aqt_engine.Network
+module Sim = Aqt_engine.Sim
+module Flow = Aqt_adversary.Flow
+module Phased = Aqt_adversary.Phased
+module Ratio = Aqt_util.Ratio
+
+type plan = {
+  s : int;
+  rs : int;
+  r2s : int;
+  r3s : int;
+  duration : int;
+  flows : Flow.t list;
+}
+
+let plan ~rate ~relay ~start ~s =
+  if Array.length relay <> 3 then invalid_arg "Stitch.plan: relay must have 3 edges";
+  if s < 1 then invalid_arg "Stitch.plan: empty source queue";
+  let tau = start - 1 in
+  let rs = Ratio.floor_mul rate s in
+  let r2s = Ratio.floor_mul rate rs in
+  let r3s = Ratio.floor_mul rate r2s in
+  let a2 = [| relay.(2) |] in
+  let part1 =
+    Flow.make ~tag:"relay" ~route:relay ~rate ~start:(tau + 1) ~stop:(tau + s)
+      ()
+  in
+  let part2 =
+    if r2s = 0 then []
+    else
+      [
+        Flow.make ~tag:"mixer" ~max_total:r2s ~route:a2 ~rate
+          ~start:(tau + s + 1) ~stop:(tau + s + rs) ();
+      ]
+  in
+  let part3 =
+    if r3s = 0 then []
+    else
+      [
+        Flow.make ~tag:"fresh" ~max_total:r3s ~route:a2 ~rate
+          ~start:(tau + s + rs + 1)
+          ~stop:(tau + s + rs + r2s)
+          ();
+      ]
+  in
+  {
+    s;
+    rs;
+    r2s;
+    r3s;
+    duration = s + rs + r2s;
+    flows = (part1 :: part2) @ part3;
+  }
+
+let phase ?(flow_filter = fun _ -> true) ~rate ~gadget : Phased.phase =
+ fun net start ->
+  let relay = Gadget.stitch_route gadget in
+  let s = Network.buffer_len net relay.(0) in
+  if s = 0 then failwith "Stitch.phase: no packets queued at the egress";
+  let p = plan ~rate ~relay ~start ~s in
+  let flows = List.filter flow_filter p.flows in
+  (Sim.injections_only (fun _ t -> Flow.injections_at flows t), p.duration)

@@ -1,0 +1,42 @@
+(** The stitch adversary of Lemma 3.16: replace a queue of old packets with a
+    queue of fresh packets across three consecutive edges [a0, a1, a2].
+
+    In the Theorem 3.17 graph, [a0] is the egress of the last gadget, [a1]
+    the stitching edge [e0], and [a2] the ingress of the first gadget.
+    Precondition: S old packets sit in the buffer of [a0], remaining routes
+    of length 1.  Over [S + rS + r^2 S] steps the phase
+
+    + injects [rS] packets with route [a0, a1, a2] during [[1, S]];
+    + injects [r^2 S] packets with route [[a2]] during [[S+1, S+rS]];
+    + injects [r^3 S] packets with route [[a2]] during
+      [[S+rS+1, S+rS+r^2 S]].
+
+    Postcondition: the buffer of [a2] holds [r^3 S] fresh packets (injected
+    after time [tau + S]), and the network holds nothing else. *)
+
+type plan = {
+  s : int;  (** The measured queue at [a0]. *)
+  rs : int;  (** Part-(1) volume. *)
+  r2s : int;  (** Part-(2) volume. *)
+  r3s : int;  (** Part-(3) volume — the fresh seed count. *)
+  duration : int;
+  flows : Aqt_adversary.Flow.t list;
+}
+
+val plan :
+  rate:Aqt_util.Ratio.t ->
+  relay:int array ->
+  start:int ->
+  s:int ->
+  plan
+(** [relay] is the three-edge path [a0; a1; a2]. *)
+
+val phase :
+  ?flow_filter:(Aqt_adversary.Flow.t -> bool) ->
+  rate:Aqt_util.Ratio.t ->
+  gadget:Gadget.t ->
+  Aqt_adversary.Phased.phase
+(** Uses the cyclic graph's relay [a_M, e0, a_0].  [flow_filter] supports the
+    ablation experiments (flow tags are ["relay"], ["mixer"], ["fresh"]).
+    @raise Failure if the egress buffer is empty.
+    @raise Invalid_argument on a non-cyclic gadget graph. *)

@@ -1,0 +1,37 @@
+(** Empirical stability classification for (network, policy, adversary)
+    triples.
+
+    A run is classified by the backlog trajectory: [Blowup] if a buffer ever
+    exceeds the cap, [Growing] if the in-flight population at the end of the
+    horizon is well above its midpoint value (sustained linear growth),
+    [Stable] otherwise.  This is a heuristic — adversarial instability can
+    have long quiet prefixes — so horizons should comfortably exceed the
+    workload's natural time scale; the experiment tables report the raw
+    numbers next to the verdict. *)
+
+type verdict = Stable | Growing | Blowup
+
+val verdict_to_string : verdict -> string
+
+type report = {
+  name : string;
+  policy : string;
+  rate : Aqt_util.Ratio.t;
+  verdict : verdict;
+  max_queue : int;
+  mid_backlog : int;
+  final_backlog : int;
+  steps_run : int;
+}
+
+val classify :
+  ?blowup:int ->
+  name:string ->
+  graph:Aqt_graph.Digraph.t ->
+  policy:Aqt_engine.Policy_type.t ->
+  adversary:Aqt_adversary.Stock.t ->
+  horizon:int ->
+  unit ->
+  report
+(** Runs for [horizon] steps (default blowup cap 200_000 packets in one
+    buffer) and classifies. *)

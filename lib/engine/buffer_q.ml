@@ -1,0 +1,58 @@
+module H = Aqt_util.Binheap
+module Dq = Aqt_util.Deque
+
+(* Arrival-ordered policies get O(1) deques; everything else a binary heap
+   keyed at enqueue.  The two representations are observationally equivalent
+   for their disciplines (tested in test_engine/test_policy). *)
+type impl =
+  | Fifo of Packet.t Dq.t
+  | Lifo of Packet.t Dq.t
+  | Keyed of Packet.t H.t
+
+type t = { impl : impl; mutable seq : int }
+
+let create (policy : Policy_type.t) =
+  let impl =
+    match policy.discipline with
+    | Policy_type.Arrival_order -> Fifo (Dq.create ())
+    | Policy_type.Reverse_arrival -> Lifo (Dq.create ())
+    | Policy_type.By_key -> Keyed (H.create ())
+  in
+  { impl; seq = 0 }
+
+let length b =
+  match b.impl with Fifo d | Lifo d -> Dq.length d | Keyed h -> H.length h
+
+let is_empty b = length b = 0
+
+let enqueue b (policy : Policy_type.t) ~now (p : Packet.t) =
+  let seq = b.seq in
+  b.seq <- seq + 1;
+  match b.impl with
+  | Fifo d | Lifo d -> Dq.push_back d p
+  | Keyed h ->
+      let key = policy.key p ~now ~seq in
+      H.add h ~key ~tie:seq p
+
+let dequeue b =
+  match b.impl with
+  | Fifo d -> (try Some (Dq.pop_front d) with Not_found -> None)
+  | Lifo d -> (try Some (Dq.pop_back d) with Not_found -> None)
+  | Keyed h -> (try Some (H.pop_min h) with Not_found -> None)
+
+let peek b =
+  match b.impl with
+  | Fifo d -> (try Some (Dq.peek_front d) with Not_found -> None)
+  | Lifo d -> (try Some (Dq.peek_back d) with Not_found -> None)
+  | Keyed h -> (try Some (H.min_elt h) with Not_found -> None)
+
+let iter f b =
+  match b.impl with Fifo d | Lifo d -> Dq.iter f d | Keyed h -> H.iter f h
+
+let to_sorted_list b =
+  match b.impl with
+  | Fifo d -> Dq.to_list d
+  | Lifo d -> List.rev (Dq.to_list d)
+  | Keyed h -> H.to_sorted_list h
+
+let arrivals b = b.seq

@@ -1,0 +1,29 @@
+(** The buffer at the tail of one link.
+
+    A priority queue of packets ordered by the policy key computed at
+    enqueue time, ties broken by arrival order.  Arrival-ordered disciplines
+    (FIFO/LIFO) use O(1) deques; general priorities use an O(log k) binary
+    heap. *)
+
+type t
+
+val create : Policy_type.t -> t
+(* The policy's discipline selects the representation. *)
+val length : t -> int
+val is_empty : t -> bool
+
+val enqueue : t -> Policy_type.t -> now:int -> Packet.t -> unit
+(** Computes the policy key for the packet and inserts it. *)
+
+val dequeue : t -> Packet.t option
+(** Removes and returns the packet the policy forwards next. *)
+
+val peek : t -> Packet.t option
+val iter : (Packet.t -> unit) -> t -> unit
+(** Arbitrary order. *)
+
+val to_sorted_list : t -> Packet.t list
+(** Forwarding order (head of the queue first). *)
+
+val arrivals : t -> int
+(** Total packets ever enqueued here (the arrival sequence counter). *)

@@ -1,0 +1,304 @@
+module Dyn = Aqt_util.Dynarray_compat
+module Digraph = Aqt_graph.Digraph
+
+type injection = { route : int array; tag : string }
+type tie_order = Transit_first | Injection_first
+
+type t = {
+  graph : Digraph.t;
+  policy : Policy_type.t;
+  buffers : Buffer_q.t array;
+  validate_routes : bool;
+  tie_order : tie_order;
+  tracer : (Trace.event -> unit) option;
+  mutable now : int;
+  mutable next_id : int;
+  mutable in_flight : int;
+  mutable absorbed : int;
+  mutable injected : int;
+  mutable initials : int;
+  mutable reroutes : int;
+  (* Active-edge bookkeeping: [active] lists exactly the edges with nonempty
+     buffers, [active_flag] mirrors membership. *)
+  mutable active : int Dyn.t;
+  mutable active_scratch : int Dyn.t;
+  active_flag : bool array;
+  pending : Packet.t Dyn.t; (* packets in transit within the current step *)
+  (* Instrumentation. *)
+  mutable max_queue : int;
+  max_queue_edge : int array;
+  sent_edge : int array;
+  mutable max_dwell : int;
+  mutable latency_sum : int;
+  mutable latency_max : int;
+  latency_histo : Aqt_util.Histo.t;
+  (* (injected_at, packet id, initial?, final route) of absorbed packets, in
+     absorption order; live packets are appended on demand by
+     [injection_log]/[initial_final_routes], which sort by (time, id) so
+     same-step injections keep their original order. *)
+  absorbed_log : (int * int * bool * int array) Dyn.t option;
+  last_use : int array; (* per edge: latest injection whose route used it *)
+}
+
+let create ?(log_injections = false) ?(validate_routes = true)
+    ?(tie_order = Transit_first) ?tracer ~graph ~policy () =
+  let m = Digraph.n_edges graph in
+  {
+    graph;
+    policy;
+    buffers = Array.init m (fun _ -> Buffer_q.create policy);
+    validate_routes;
+    tie_order;
+    tracer;
+    now = 0;
+    next_id = 0;
+    in_flight = 0;
+    absorbed = 0;
+    injected = 0;
+    initials = 0;
+    reroutes = 0;
+    active = Dyn.create ();
+    active_scratch = Dyn.create ();
+    active_flag = Array.make m false;
+    pending = Dyn.create ();
+    max_queue = 0;
+    max_queue_edge = Array.make m 0;
+    sent_edge = Array.make m 0;
+    max_dwell = 0;
+    latency_sum = 0;
+    latency_max = 0;
+    latency_histo = Aqt_util.Histo.create ();
+    absorbed_log = (if log_injections then Some (Dyn.create ()) else None);
+    last_use = Array.make m min_int;
+  }
+
+let graph t = t.graph
+let policy t = t.policy
+let now t = t.now
+
+let check_route t route =
+  if t.validate_routes && not (Digraph.route_is_simple t.graph route) then
+    invalid_arg
+      (Format.asprintf "Network: route %a is not a simple path"
+         (Digraph.pp_route t.graph) route)
+
+let enqueue_at t (p : Packet.t) e =
+  p.buffered_at <- t.now;
+  Buffer_q.enqueue t.buffers.(e) t.policy ~now:t.now p;
+  if not t.active_flag.(e) then begin
+    t.active_flag.(e) <- true;
+    Dyn.push t.active e
+  end;
+  let len = Buffer_q.length t.buffers.(e) in
+  if len > t.max_queue then t.max_queue <- len;
+  if len > t.max_queue_edge.(e) then t.max_queue_edge.(e) <- len
+
+let fresh_packet t ~initial ~exogenous ~tag route : Packet.t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  {
+    id;
+    injected_at = t.now;
+    initial;
+    exogenous;
+    tag;
+    route = Array.copy route;
+    hop = 0;
+    buffered_at = t.now;
+    reroutes = 0;
+  }
+
+let trace t e = match t.tracer with Some f -> f e | None -> ()
+
+let mark_route_use t route =
+  Array.iter (fun e -> t.last_use.(e) <- t.now) route
+
+let place_initial t ?(tag = "init") route =
+  if t.now <> 0 then
+    invalid_arg "Network.place_initial: the system already started";
+  check_route t route;
+  let p = fresh_packet t ~initial:true ~exogenous:false ~tag route in
+  t.initials <- t.initials + 1;
+  t.in_flight <- t.in_flight + 1;
+  mark_route_use t route;
+  enqueue_at t p route.(0);
+  trace t
+    (Trace.Injected
+       {
+         t = t.now;
+         packet = p.id;
+         edge = route.(0);
+         route_len = Array.length route;
+         initial = true;
+       });
+  p
+
+let absorb t (p : Packet.t) =
+  t.absorbed <- t.absorbed + 1;
+  t.in_flight <- t.in_flight - 1;
+  let latency = t.now - p.injected_at in
+  t.latency_sum <- t.latency_sum + latency;
+  if latency > t.latency_max then t.latency_max <- latency;
+  Aqt_util.Histo.record t.latency_histo latency;
+  trace t (Trace.Absorbed { t = t.now; packet = p.id; latency });
+  match t.absorbed_log with
+  | Some log when not p.exogenous ->
+      Dyn.push log (p.injected_at, p.id, p.initial, p.route)
+  | _ -> ()
+
+let inject t ~exogenous (inj : injection) =
+  check_route t inj.route;
+  let p = fresh_packet t ~initial:false ~exogenous ~tag:inj.tag inj.route in
+  t.injected <- t.injected + 1;
+  t.in_flight <- t.in_flight + 1;
+  if not exogenous then mark_route_use t inj.route;
+  enqueue_at t p inj.route.(0);
+  trace t
+    (Trace.Injected
+       {
+         t = t.now;
+         packet = p.id;
+         edge = inj.route.(0);
+         route_len = Array.length inj.route;
+         initial = false;
+       })
+
+let step t ?(exogenous = []) injections =
+  t.now <- t.now + 1;
+  (* Substep 1: one send per nonempty buffer, simultaneous.  Dequeues happen
+     before any enqueue of this step, so simultaneity is exact. *)
+  Dyn.clear t.pending;
+  let old_active = t.active in
+  t.active <- t.active_scratch;
+  t.active_scratch <- old_active;
+  Dyn.clear t.active;
+  Dyn.iter
+    (fun e ->
+      let buf = t.buffers.(e) in
+      match Buffer_q.dequeue buf with
+      | None ->
+          (* The active list never holds empty buffers. *)
+          assert false
+      | Some p ->
+          let dwell = t.now - p.buffered_at in
+          if dwell > t.max_dwell then t.max_dwell <- dwell;
+          t.sent_edge.(e) <- t.sent_edge.(e) + 1;
+          trace t (Trace.Forwarded { t = t.now; packet = p.id; edge = e; dwell });
+          Dyn.push t.pending p;
+          if Buffer_q.is_empty buf then t.active_flag.(e) <- false
+          else Dyn.push t.active e)
+    old_active;
+  (* Substep 2: deliveries and injections, in the configured tie order. *)
+  let deliver () =
+    Dyn.iter
+      (fun (p : Packet.t) ->
+        p.hop <- p.hop + 1;
+        if Packet.is_absorbed p then absorb t p
+        else enqueue_at t p p.route.(p.hop))
+      t.pending
+  in
+  (match t.tie_order with
+  | Transit_first ->
+      deliver ();
+      List.iter (inject t ~exogenous:false) injections
+  | Injection_first ->
+      List.iter (inject t ~exogenous:false) injections;
+      deliver ());
+  List.iter (inject t ~exogenous:true) exogenous
+
+let reroute t (p : Packet.t) suffix =
+  if Packet.is_absorbed p then
+    invalid_arg "Network.reroute: packet already absorbed";
+  let new_route =
+    Array.concat [ Array.sub p.route 0 (p.hop + 1); suffix ]
+  in
+  check_route t new_route;
+  p.route <- new_route;
+  p.reroutes <- p.reroutes + 1;
+  t.reroutes <- t.reroutes + 1;
+  trace t
+    (Trace.Rerouted
+       { t = t.now; packet = p.id; route_len = Array.length new_route })
+
+let buffer_len t e = Buffer_q.length t.buffers.(e)
+let buffer_packets t e = Buffer_q.to_sorted_list t.buffers.(e)
+let in_flight t = t.in_flight
+let absorbed t = t.absorbed
+let injected_count t = t.injected
+let initial_count t = t.initials
+
+let iter_buffered f t =
+  Dyn.iter (fun e -> Buffer_q.iter f t.buffers.(e)) t.active
+
+let count_requiring t e =
+  let count = ref 0 in
+  iter_buffered
+    (fun p ->
+      let rec uses i =
+        i < Array.length p.route && (p.route.(i) = e || uses (i + 1))
+      in
+      if uses p.hop then incr count)
+    t;
+  !count
+
+let s_initial t =
+  let best = ref 0 in
+  for e = 0 to Digraph.n_edges t.graph - 1 do
+    best := max !best (count_requiring t e)
+  done;
+  !best
+
+let current_max_queue t =
+  Dyn.fold_left (fun acc e -> max acc (Buffer_q.length t.buffers.(e))) 0 t.active
+
+let max_queue_ever t = t.max_queue
+let max_queue_of_edge t e = t.max_queue_edge.(e)
+let sent_on_edge t e = t.sent_edge.(e)
+let max_dwell t = t.max_dwell
+
+let max_pending_dwell t =
+  let best = ref 0 in
+  iter_buffered (fun p -> best := max !best (t.now - p.buffered_at)) t;
+  !best
+
+let delivered_latency_max t = t.latency_max
+let delivered_latency_percentile t p = Aqt_util.Histo.percentile t.latency_histo p
+
+let delivered_latency_mean t =
+  if t.absorbed = 0 then 0.0
+  else float_of_int t.latency_sum /. float_of_int t.absorbed
+
+let full_log t ~want_initial =
+  match t.absorbed_log with
+  | None ->
+      invalid_arg "Network.injection_log: created without ~log_injections"
+  | Some log ->
+      let selected = Dyn.create () in
+      Dyn.iter
+        (fun (time, id, initial, route) ->
+          if initial = want_initial then Dyn.push selected (time, id, route))
+        log;
+      iter_buffered
+        (fun p ->
+          if p.initial = want_initial && not p.exogenous then
+            Dyn.push selected (p.injected_at, p.id, p.route))
+        t;
+      let all = Dyn.to_array selected in
+      Array.sort
+        (fun (t1, id1, _) (t2, id2, _) -> compare (t1, id1) (t2, id2))
+        all;
+      all
+
+let injection_log t =
+  Array.map (fun (time, _, route) -> (time, route)) (full_log t ~want_initial:false)
+
+let initial_final_routes t =
+  Array.map (fun (_, _, route) -> route) (full_log t ~want_initial:true)
+
+let reroute_count t = t.reroutes
+let last_injection_on t e = t.last_use.(e)
+
+let min_injection_time_in_flight t =
+  let best = ref max_int in
+  iter_buffered (fun p -> if p.injected_at < !best then best := p.injected_at) t;
+  !best

@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  injected_at : int;
+  initial : bool;
+  exogenous : bool;
+  tag : string;
+  mutable route : int array;
+  mutable hop : int;
+  mutable buffered_at : int;
+  mutable reroutes : int;
+}
+
+let next_edge p =
+  if p.hop >= Array.length p.route then None else Some p.route.(p.hop)
+
+let current_edge p =
+  if p.hop >= Array.length p.route then
+    invalid_arg "Packet.current_edge: packet is absorbed"
+  else p.route.(p.hop)
+
+let remaining p = Array.length p.route - p.hop
+let traversed p = p.hop
+let is_absorbed p = p.hop >= Array.length p.route
+
+let pp fmt p =
+  Format.fprintf fmt "#%d[%s inj=%d hop=%d/%d]" p.id p.tag p.injected_at p.hop
+    (Array.length p.route)

@@ -1,0 +1,44 @@
+(** Packets in the adversarial queuing model.
+
+    A packet carries a full route (array of edge ids) and the index [hop] of
+    the next edge it must traverse.  The route array may be rewritten while
+    the packet is in flight (the rerouting technique of Lemma 3.3); only the
+    suffix strictly beyond the current next edge may change.
+
+    Time fields follow the model of Section 2: a packet enters a buffer in the
+    second substep of step [t] ([buffered_at = t]) and can be forwarded in the
+    first substep of step [t+1] at the earliest. *)
+
+type t = {
+  id : int;
+  injected_at : int;
+  initial : bool;
+      (** True for packets placed by an initial configuration rather than
+          injected by the adversary (Section 4's S-initial-configurations). *)
+  exogenous : bool;
+      (** True for background cross-traffic injected outside the adversary's
+          budget (robustness experiments): excluded from rate accounting,
+          Def 3.2 edge-use tracking and the injection log. *)
+  tag : string;  (** Adversary annotation ("old", "short", ...); traces only. *)
+  mutable route : int array;
+  mutable hop : int;  (** Index into [route] of the next edge; [= length route]
+                          once absorbed. *)
+  mutable buffered_at : int;
+  mutable reroutes : int;  (** Number of times the route suffix was rewritten. *)
+}
+
+val next_edge : t -> int option
+(** The edge the packet is waiting for, or [None] if absorbed. *)
+
+val current_edge : t -> int
+(** Like [next_edge] but raises.  @raise Invalid_argument if absorbed. *)
+
+val remaining : t -> int
+(** Edges still to traverse, including the next one; 0 once absorbed. *)
+
+val traversed : t -> int
+(** Edges already crossed (= distance from source). *)
+
+val is_absorbed : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+type discipline = Arrival_order | Reverse_arrival | By_key
+
+type t = {
+  name : string;
+  key : Packet.t -> now:int -> seq:int -> int;
+  discipline : discipline;
+  time_priority : bool;
+  historic : bool;
+}

@@ -1,0 +1,37 @@
+(** The queuing-policy interface of the engine.
+
+    All policies studied in the paper are greedy and assign each packet a
+    priority that is fixed for the duration of its stay in one buffer, so a
+    policy is a key function evaluated when a packet enters a buffer.  The
+    buffer forwards the packet with the lexicographically smallest
+    [(key, seq)] pair, where [seq] is the per-buffer arrival sequence number:
+    equal keys therefore resolve in arrival order, and runs are deterministic.
+
+    Concrete policies live in [Aqt_policy.Policies]; the engine only needs
+    this type. *)
+
+type discipline =
+  | Arrival_order  (** Forward in arrival order — FIFO; buffers are deques. *)
+  | Reverse_arrival  (** Forward newest-arrival first — LIFO. *)
+  | By_key  (** General priority per [key]; buffers are binary heaps. *)
+
+type t = {
+  name : string;
+  key : Packet.t -> now:int -> seq:int -> int;
+      (** Priority of a packet entering a buffer at time [now] with per-buffer
+          arrival sequence number [seq]; smaller forwards first. *)
+  discipline : discipline;
+      (** Must agree with [key]: [Arrival_order] and [Reverse_arrival] are
+          O(1) fast paths for policies whose key orders by arrival sequence
+          (ascending resp. descending); the engine's choice of buffer
+          representation is observationally equivalent either way. *)
+  time_priority : bool;
+      (** Definition 4.2: a packet that arrived at time [t] has priority over
+          every packet injected (anywhere) after [t].  Holds for FIFO and LIS;
+          enables the sharper 1/d stability bound of Theorem 4.3. *)
+  historic : bool;
+      (** Definition 3.1: scheduling ignores the remaining route beyond each
+          packet's next edge, which is what legitimizes rerouting
+          (Lemma 3.3).  FIFO, LIFO, LIS, NIS, FFS are historic; FTG and NTG
+          are not. *)
+}

@@ -1,0 +1,36 @@
+module Dyn = Aqt_util.Dynarray_compat
+
+type sample = {
+  t : int;
+  in_flight : int;
+  cur_max_queue : int;
+  absorbed : int;
+  max_dwell : int;
+}
+
+type t = { every : int; store : sample Dyn.t }
+
+let make ?(every = 1) () =
+  if every < 1 then invalid_arg "Recorder.make";
+  { every; store = Dyn.create () }
+
+let observe r net =
+  let now = Network.now net in
+  if now mod r.every = 0 then
+    Dyn.push r.store
+      {
+        t = now;
+        in_flight = Network.in_flight net;
+        cur_max_queue = Network.current_max_queue net;
+        absorbed = Network.absorbed net;
+        max_dwell = Network.max_dwell net;
+      }
+
+let samples r = Dyn.to_array r.store
+let length r = Dyn.length r.store
+
+let points r f =
+  Array.map (fun s -> (float_of_int s.t, f s)) (samples r)
+
+let last r =
+  if Dyn.is_empty r.store then None else Some (Dyn.last r.store)

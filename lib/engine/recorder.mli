@@ -1,0 +1,28 @@
+(** Periodic sampling of network state during a run.
+
+    A recorder samples global metrics every [every] steps; the samples feed
+    the growth-slope stability classifier and the ASCII trajectory plots. *)
+
+type sample = {
+  t : int;
+  in_flight : int;
+  cur_max_queue : int;
+  absorbed : int;
+  max_dwell : int;
+}
+
+type t
+
+val make : ?every:int -> unit -> t
+(** Default samples every step. *)
+
+val observe : t -> Network.t -> unit
+(** Call after each [Network.step]; samples when [now mod every = 0]. *)
+
+val samples : t -> sample array
+val length : t -> int
+
+val points : t -> (sample -> float) -> (float * float) array
+(** [(t, f sample)] pairs, for plotting. *)
+
+val last : t -> sample option

@@ -1,0 +1,67 @@
+type driver = {
+  before_step : Network.t -> int -> unit;
+  injections_at : Network.t -> int -> Network.injection list;
+}
+
+let null_driver =
+  { before_step = (fun _ _ -> ()); injections_at = (fun _ _ -> []) }
+
+let injections_only f = { null_driver with injections_at = f }
+
+type stop = Horizon | Drained | Blowup of int | Stopped of string
+
+type outcome = {
+  stop : stop;
+  steps_run : int;
+  final_in_flight : int;
+  max_queue : int;
+  max_dwell : int;
+}
+
+let run ?recorder ?blowup ?stop_when ?(drain_stop = false) ~net ~driver
+    ~horizon () =
+  if horizon < 0 then invalid_arg "Sim.run: negative horizon";
+  let start = Network.now net in
+  let observe () =
+    match recorder with Some r -> Recorder.observe r net | None -> ()
+  in
+  let rec go steps_done =
+    if steps_done >= horizon then Horizon
+    else begin
+      let t = Network.now net + 1 in
+      driver.before_step net t;
+      let injections = driver.injections_at net t in
+      Network.step net injections;
+      observe ();
+      let blown =
+        match blowup with
+        | Some cap when Network.max_queue_ever net > cap ->
+            Some (Blowup (Network.max_queue_ever net))
+        | _ -> None
+      in
+      match blown with
+      | Some b -> b
+      | None -> (
+          match stop_when with
+          | Some f when Option.is_some (f net) ->
+              Stopped (Option.get (f net))
+          | _ ->
+              if drain_stop && Network.in_flight net = 0 && injections = []
+              then Drained
+              else go (steps_done + 1))
+    end
+  in
+  let stop = go 0 in
+  {
+    stop;
+    steps_run = Network.now net - start;
+    final_in_flight = Network.in_flight net;
+    max_queue = Network.max_queue_ever net;
+    max_dwell = Network.max_dwell net;
+  }
+
+let pp_stop fmt = function
+  | Horizon -> Format.pp_print_string fmt "horizon"
+  | Drained -> Format.pp_print_string fmt "drained"
+  | Blowup q -> Format.fprintf fmt "blowup(%d)" q
+  | Stopped s -> Format.fprintf fmt "stopped(%s)" s

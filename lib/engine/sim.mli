@@ -1,0 +1,46 @@
+(** The run loop: drive a network with an adversary for a horizon of steps.
+
+    A {!driver} is the engine-side view of an adversary: a hook called before
+    each step (where rerouting happens) and the injections for each step.
+    Richer adversary combinators live in [Aqt_adversary]. *)
+
+type driver = {
+  before_step : Network.t -> int -> unit;
+      (** Called with the step number about to execute; may reroute. *)
+  injections_at : Network.t -> int -> Network.injection list;
+      (** Injections arriving in the second substep of the given step. *)
+}
+
+val null_driver : driver
+val injections_only : (Network.t -> int -> Network.injection list) -> driver
+
+type stop =
+  | Horizon  (** Ran the full requested number of steps. *)
+  | Drained  (** Network empty and the step injected nothing. *)
+  | Blowup of int  (** A buffer exceeded the blowup threshold. *)
+  | Stopped of string  (** Custom predicate fired. *)
+
+type outcome = {
+  stop : stop;
+  steps_run : int;
+  final_in_flight : int;
+  max_queue : int;
+  max_dwell : int;
+}
+
+val run :
+  ?recorder:Recorder.t ->
+  ?blowup:int ->
+  ?stop_when:(Network.t -> string option) ->
+  ?drain_stop:bool ->
+  net:Network.t ->
+  driver:driver ->
+  horizon:int ->
+  unit ->
+  outcome
+(** Runs up to [horizon] further steps.  [blowup] stops the run as unstable
+    when any buffer ever exceeds that many packets.  [drain_stop] (default
+    false) stops once the network is empty after a step with no injections.
+    [stop_when] is evaluated after each step. *)
+
+val pp_stop : Format.formatter -> stop -> unit

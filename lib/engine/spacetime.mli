@@ -1,0 +1,27 @@
+(** Space-time diagrams of queue occupancy.
+
+    Samples every edge's buffer length each time it is observed and renders
+    the result as a text heat map — time on the horizontal axis, one row per
+    edge.  Intended for small networks (every edge gets a row) and short
+    horizons; the examples use it to show the paper's constructions moving
+    queues through gadget chains. *)
+
+type t
+
+val make : ?every:int -> Network.t -> t
+(** Samples when [now mod every = 0] (default 1). *)
+
+val observe : t -> unit
+(** Record the current buffer lengths (respecting [every]). *)
+
+val driver_wrap : t -> Sim.driver -> Sim.driver
+(** A driver that behaves like the argument but records a sample before
+    every step. *)
+
+val render : ?max_rows:int -> t -> string
+(** Heat map with one row per edge (edge label as the row header), glyphs
+    scaled to the maximum observed queue: ['.' ':' '-' '=' '+' '*' '#' '@'].
+    Columns are down-sampled to at most 100 sample points.  [max_rows] caps
+    the number of edge rows (default 64; busiest edges are kept). *)
+
+val print : ?max_rows:int -> t -> unit

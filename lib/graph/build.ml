@@ -1,0 +1,107 @@
+module D = Digraph
+
+type line = { graph : D.t; nodes : int array; edges : int array }
+
+let line k =
+  if k < 1 then invalid_arg "Build.line: need at least one edge";
+  let g = D.create () in
+  let nodes = D.add_nodes g (k + 1) in
+  let edges =
+    Array.init k (fun i -> D.add_edge g ~src:nodes.(i) ~dst:nodes.(i + 1))
+  in
+  { graph = g; nodes; edges }
+
+type ring = { graph : D.t; nodes : int array; edges : int array }
+
+let ring k =
+  if k < 2 then invalid_arg "Build.ring: need at least two nodes";
+  let g = D.create () in
+  let nodes = D.add_nodes g k in
+  let edges =
+    Array.init k (fun i ->
+        D.add_edge g ~src:nodes.(i) ~dst:nodes.((i + 1) mod k))
+  in
+  { graph = g; nodes; edges }
+
+type parallel = {
+  graph : D.t;
+  source : int;
+  sink : int;
+  paths : int array array;
+}
+
+let parallel_paths ~branches ~hops =
+  if branches < 1 || hops < 1 then invalid_arg "Build.parallel_paths";
+  let g = D.create () in
+  let source = D.add_node ~name:"src" g and sink = D.add_node ~name:"snk" g in
+  let branch b =
+    let prev = ref source in
+    Array.init hops (fun h ->
+        let next = if h = hops - 1 then sink else D.add_node g in
+        let e =
+          D.add_edge ~label:(Printf.sprintf "p%d_%d" b h) g ~src:!prev ~dst:next
+        in
+        prev := next;
+        e)
+  in
+  let paths = Array.init branches branch in
+  { graph = g; source; sink; paths }
+
+type grid = { graph : D.t; node_at : int -> int -> int }
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Build.grid";
+  let g = D.create () in
+  let ids =
+    Array.init rows (fun r ->
+        Array.init cols (fun c ->
+            D.add_node ~name:(Printf.sprintf "g%d_%d" r c) g))
+  in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        ignore (D.add_edge g ~src:ids.(r).(c) ~dst:ids.(r).(c + 1));
+      if r + 1 < rows then
+        ignore (D.add_edge g ~src:ids.(r).(c) ~dst:ids.(r + 1).(c))
+    done
+  done;
+  { graph = g; node_at = (fun r c -> ids.(r).(c)) }
+
+type tree = { graph : D.t; root : int; leaves : int array }
+
+let in_tree ~depth =
+  if depth < 0 then invalid_arg "Build.in_tree";
+  let g = D.create () in
+  let root = D.add_node ~name:"root" g in
+  (* Level d holds 2^d nodes; edges point from level d+1 to level d. *)
+  let rec expand level parents =
+    if level > depth then parents
+    else begin
+      let children =
+        Array.concat
+          (Array.to_list
+             (Array.map
+                (fun p ->
+                  let l = D.add_node g and r = D.add_node g in
+                  ignore (D.add_edge g ~src:l ~dst:p);
+                  ignore (D.add_edge g ~src:r ~dst:p);
+                  [| l; r |])
+                parents))
+      in
+      expand (level + 1) children
+    end
+  in
+  let leaves = expand 1 [| root |] in
+  { graph = g; root; leaves }
+
+let random_dag ~prng ~nodes ~edge_prob_num ~edge_prob_den =
+  if nodes < 1 then invalid_arg "Build.random_dag";
+  let g = D.create () in
+  let ids = D.add_nodes g nodes in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      if Aqt_util.Prng.bernoulli prng ~num:edge_prob_num ~den:edge_prob_den
+      then ignore (D.add_edge g ~src:ids.(i) ~dst:ids.(j))
+    done
+  done;
+  g

@@ -1,0 +1,47 @@
+(** Stock network topologies for experiments.
+
+    Each builder returns the graph plus the handles an experiment needs
+    (node/edge arrays in construction order).  These are the substrate
+    topologies for the stability experiments (Section 4 of the paper) and for
+    the baseline comparisons; the paper's own gadget graphs live in
+    [Aqt.Gadget]. *)
+
+type line = { graph : Digraph.t; nodes : int array; edges : int array }
+
+val line : int -> line
+(** [line k] is a directed path with [k] edges [v0 -> v1 -> ... -> vk]. *)
+
+type ring = { graph : Digraph.t; nodes : int array; edges : int array }
+
+val ring : int -> ring
+(** [ring k] is a directed cycle with [k >= 2] nodes and [k] edges;
+    [edges.(i)] goes from node [i] to node [(i+1) mod k]. *)
+
+type parallel = {
+  graph : Digraph.t;
+  source : int;
+  sink : int;
+  paths : int array array;  (** [paths.(i)] is the edge route of branch i. *)
+}
+
+val parallel_paths : branches:int -> hops:int -> parallel
+(** [branches] edge-disjoint directed paths of [hops] edges each, sharing only
+    the endpoints.  Requires [branches >= 1] and [hops >= 1]; with [hops = 1]
+    this is a multigraph of parallel edges. *)
+
+type grid = { graph : Digraph.t; node_at : int -> int -> int }
+
+val grid : rows:int -> cols:int -> grid
+(** Directed grid: edges go right and down.  [node_at r c] addresses nodes. *)
+
+type tree = { graph : Digraph.t; root : int; leaves : int array }
+
+val in_tree : depth:int -> tree
+(** Complete binary in-tree: every edge points toward the root; [2^depth]
+    leaves.  Used for the NTG low-rate instability baseline. *)
+
+val random_dag :
+  prng:Aqt_util.Prng.t -> nodes:int -> edge_prob_num:int -> edge_prob_den:int ->
+  Digraph.t
+(** Random DAG on [nodes] nodes: each forward pair (i,j), i<j, gets an edge
+    with probability [edge_prob_num/edge_prob_den]. *)

@@ -1,0 +1,216 @@
+module Dyn = Aqt_util.Dynarray_compat
+
+type edge = { id : int; src : int; dst : int; label : string }
+
+type t = {
+  node_names : string Dyn.t;
+  edge_store : edge Dyn.t;
+  out_adj : int list Dyn.t; (* per node, reversed insertion order *)
+  in_adj : int list Dyn.t;
+}
+
+let create () =
+  {
+    node_names = Dyn.create ();
+    edge_store = Dyn.create ();
+    out_adj = Dyn.create ();
+    in_adj = Dyn.create ();
+  }
+
+let n_nodes g = Dyn.length g.node_names
+let n_edges g = Dyn.length g.edge_store
+
+let add_node ?name g =
+  let id = n_nodes g in
+  let name = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
+  Dyn.push g.node_names name;
+  Dyn.push g.out_adj [];
+  Dyn.push g.in_adj [];
+  id
+
+let add_nodes g k = Array.init k (fun _ -> add_node g)
+
+let check_node g v what =
+  if v < 0 || v >= n_nodes g then
+    invalid_arg (Printf.sprintf "Digraph.add_edge: %s %d is not a node" what v)
+
+let add_edge ?label g ~src ~dst =
+  check_node g src "source";
+  check_node g dst "destination";
+  if src = dst then invalid_arg "Digraph.add_edge: self-loops are not allowed";
+  let id = n_edges g in
+  let label = match label with Some l -> l | None -> Printf.sprintf "e%d" id in
+  Dyn.push g.edge_store { id; src; dst; label };
+  Dyn.set g.out_adj src (id :: Dyn.get g.out_adj src);
+  Dyn.set g.in_adj dst (id :: Dyn.get g.in_adj dst);
+  id
+
+let edge g e =
+  if e < 0 || e >= n_edges g then invalid_arg "Digraph.edge: bad edge id";
+  Dyn.get g.edge_store e
+
+let edges g = Dyn.to_array g.edge_store
+let src g e = (edge g e).src
+let dst g e = (edge g e).dst
+let label g e = (edge g e).label
+
+let node_name g v =
+  if v < 0 || v >= n_nodes g then invalid_arg "Digraph.node_name: bad node id";
+  Dyn.get g.node_names v
+
+let out_edges g v =
+  if v < 0 || v >= n_nodes g then invalid_arg "Digraph.out_edges: bad node id";
+  List.rev (Dyn.get g.out_adj v)
+
+let in_edges g v =
+  if v < 0 || v >= n_nodes g then invalid_arg "Digraph.in_edges: bad node id";
+  List.rev (Dyn.get g.in_adj v)
+
+let out_degree g v = List.length (out_edges g v)
+let in_degree g v = List.length (in_edges g v)
+
+let max_in_degree g =
+  let best = ref 0 in
+  for v = 0 to n_nodes g - 1 do
+    best := max !best (in_degree g v)
+  done;
+  !best
+
+let find_edge g ~src ~dst =
+  let candidates = List.rev (Dyn.get g.out_adj src) in
+  List.find_opt (fun e -> (edge g e).dst = dst) candidates
+
+let edge_by_label g l =
+  let m = n_edges g in
+  let rec go i =
+    if i >= m then raise Not_found
+    else if String.equal (Dyn.get g.edge_store i).label l then i
+    else go (i + 1)
+  in
+  go 0
+
+let route_is_path g route =
+  let len = Array.length route in
+  if len = 0 then false
+  else begin
+    let ok = ref (route.(0) >= 0 && route.(0) < n_edges g) in
+    for i = 1 to len - 1 do
+      ok :=
+        !ok
+        && route.(i) >= 0
+        && route.(i) < n_edges g
+        && (edge g route.(i - 1)).dst = (edge g route.(i)).src
+    done;
+    !ok
+  end
+
+let route_is_simple g route =
+  route_is_path g route
+  &&
+  let seen = Hashtbl.create (Array.length route) in
+  Array.for_all
+    (fun e ->
+      if Hashtbl.mem seen e then false
+      else begin
+        Hashtbl.add seen e ();
+        true
+      end)
+    route
+
+let route_length = Array.length
+
+let route_nodes g route =
+  if not (route_is_path g route) then
+    invalid_arg "Digraph.route_nodes: not a path";
+  (edge g route.(0)).src
+  :: Array.to_list (Array.map (fun e -> (edge g e).dst) route)
+
+let pp_route g fmt route =
+  Format.fprintf fmt "[%s]"
+    (String.concat ";" (Array.to_list (Array.map (label g) route)))
+
+let topological_order g =
+  let n = n_nodes g in
+  let indeg = Array.init n (in_degree g) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = Aqt_util.Dynarray_compat.create () in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Dyn.push order v;
+    List.iter
+      (fun e ->
+        let u = (edge g e).dst in
+        indeg.(u) <- indeg.(u) - 1;
+        if indeg.(u) = 0 then Queue.add u queue)
+      (out_edges g v)
+  done;
+  if Dyn.length order = n then Some (Dyn.to_array order) else None
+
+let is_dag g = Option.is_some (topological_order g)
+
+let reachable g v0 =
+  check_node g v0 "source";
+  let seen = Array.make (n_nodes g) false in
+  let stack = Stack.create () in
+  seen.(v0) <- true;
+  Stack.push v0 stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    List.iter
+      (fun e ->
+        let u = (edge g e).dst in
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Stack.push u stack
+        end)
+      (out_edges g v)
+  done;
+  seen
+
+let shortest_path g ~src:s ~dst:d =
+  check_node g s "source";
+  check_node g d "destination";
+  if s = d then Some [||]
+  else begin
+    let parent_edge = Array.make (n_nodes g) (-1) in
+    let seen = Array.make (n_nodes g) false in
+    let queue = Queue.create () in
+    seen.(s) <- true;
+    Queue.add s queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun e ->
+          let u = (edge g e).dst in
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            parent_edge.(u) <- e;
+            if u = d then found := true;
+            Queue.add u queue
+          end)
+        (out_edges g v)
+    done;
+    if not !found then None
+    else begin
+      let rec collect v acc =
+        if v = s then acc
+        else
+          let e = parent_edge.(v) in
+          collect (edge g e).src (e :: acc)
+      in
+      Some (Array.of_list (collect d []))
+    end
+  end
+
+let pp fmt g =
+  Format.fprintf fmt "digraph: %d nodes, %d edges@." (n_nodes g) (n_edges g);
+  for v = 0 to n_nodes g - 1 do
+    let outs =
+      out_edges g v
+      |> List.map (fun e ->
+             Printf.sprintf "%s->%s" (label g e) (node_name g (edge g e).dst))
+    in
+    Format.fprintf fmt "  %s: %s@." (node_name g v) (String.concat " " outs)
+  done

@@ -1,0 +1,94 @@
+(** Directed multigraphs for adversarial queuing networks.
+
+    Nodes and edges are dense integer identifiers ([0 .. n-1] and
+    [0 .. m-1]).  Parallel edges and self-loops are allowed by the data
+    structure (the AQT model needs parallel edges; self-loops are rejected by
+    [add_edge] because a packet route must be a simple directed path).
+
+    Graphs are built once and then treated as immutable by the simulator; the
+    builder API is imperative for convenience. *)
+
+type t
+
+type edge = private {
+  id : int;
+  src : int;
+  dst : int;
+  label : string;  (** Human-readable name used in traces and error text. *)
+}
+
+(** {1 Construction} *)
+
+val create : unit -> t
+
+val add_node : ?name:string -> t -> int
+(** Returns the fresh node id.  [name] defaults to ["v<id>"]. *)
+
+val add_nodes : t -> int -> int array
+(** [add_nodes g k] adds [k] anonymous nodes, returning their ids. *)
+
+val add_edge : ?label:string -> t -> src:int -> dst:int -> int
+(** Returns the fresh edge id.  [label] defaults to ["e<id>"].
+    @raise Invalid_argument if an endpoint is not a node or [src = dst]. *)
+
+(** {1 Access} *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val edge : t -> int -> edge
+val edges : t -> edge array
+(** Fresh array, indexable by edge id. *)
+
+val src : t -> int -> int
+val dst : t -> int -> int
+val label : t -> int -> string
+val node_name : t -> int -> string
+
+val out_edges : t -> int -> int list
+(** Edge ids leaving a node, in insertion order. *)
+
+val in_edges : t -> int -> int list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val max_in_degree : t -> int
+(** The parameter α of Díaz et al.; 0 for the empty graph. *)
+
+val find_edge : t -> src:int -> dst:int -> int option
+(** Some edge from [src] to [dst] if one exists (first by id). *)
+
+val edge_by_label : t -> string -> int
+(** @raise Not_found if no edge carries that label. *)
+
+(** {1 Routes}
+
+    A route is an array of edge ids; it is valid when consecutive edges are
+    head-to-tail and no edge repeats (simple directed path, per the model). *)
+
+val route_is_path : t -> int array -> bool
+(** Consecutive edges are incident and the route is non-empty. *)
+
+val route_is_simple : t -> int array -> bool
+(** [route_is_path] and additionally no repeated edge. *)
+
+val route_length : int array -> int
+val route_nodes : t -> int array -> int list
+(** The node sequence visited by a valid route (length + 1 nodes). *)
+
+val pp_route : t -> Format.formatter -> int array -> unit
+
+(** {1 Analysis} *)
+
+val is_dag : t -> bool
+
+val topological_order : t -> int array option
+(** Node ids in topological order, or [None] if the graph has a cycle. *)
+
+val reachable : t -> int -> bool array
+(** [reachable g v].(u) iff there is a directed path from [v] to [u]. *)
+
+val shortest_path : t -> src:int -> dst:int -> int array option
+(** A minimum-hop route (edge ids) from [src] to [dst] by BFS. *)
+
+val pp : Format.formatter -> t -> unit
+(** Adjacency summary, one line per node. *)

@@ -1,0 +1,98 @@
+module P = Aqt_engine.Packet
+
+type t = Aqt_engine.Policy_type.t
+
+let fifo : t =
+  {
+    name = "fifo";
+    (* Arrival order is exactly the (now, seq) tie chain; key 0 suffices. *)
+    key = (fun _ ~now:_ ~seq:_ -> 0);
+    discipline = Aqt_engine.Policy_type.Arrival_order;
+    time_priority = true;
+    historic = true;
+  }
+
+let lifo : t =
+  {
+    name = "lifo";
+    key = (fun _ ~now:_ ~seq -> -seq);
+    discipline = Aqt_engine.Policy_type.Reverse_arrival;
+    time_priority = false;
+    historic = true;
+  }
+
+let lis : t =
+  {
+    name = "lis";
+    key = (fun p ~now:_ ~seq:_ -> p.P.injected_at);
+    discipline = Aqt_engine.Policy_type.By_key;
+    time_priority = true;
+    historic = true;
+  }
+
+let nis : t =
+  {
+    name = "nis";
+    key = (fun p ~now:_ ~seq:_ -> -p.P.injected_at);
+    discipline = Aqt_engine.Policy_type.By_key;
+    time_priority = false;
+    historic = true;
+  }
+
+let sis : t = { nis with name = "sis" }
+
+let ftg : t =
+  {
+    name = "ftg";
+    key = (fun p ~now:_ ~seq:_ -> -P.remaining p);
+    discipline = Aqt_engine.Policy_type.By_key;
+    time_priority = false;
+    historic = false;
+  }
+
+let ntg : t =
+  {
+    name = "ntg";
+    key = (fun p ~now:_ ~seq:_ -> P.remaining p);
+    discipline = Aqt_engine.Policy_type.By_key;
+    time_priority = false;
+    historic = false;
+  }
+
+let ffs : t =
+  {
+    name = "ffs";
+    key = (fun p ~now:_ ~seq:_ -> -P.traversed p);
+    discipline = Aqt_engine.Policy_type.By_key;
+    time_priority = false;
+    historic = true;
+  }
+
+let nts : t =
+  {
+    name = "nts";
+    key = (fun p ~now:_ ~seq:_ -> P.traversed p);
+    discipline = Aqt_engine.Policy_type.By_key;
+    time_priority = false;
+    historic = true;
+  }
+
+let random ~seed : t =
+  let prng = Aqt_util.Prng.create seed in
+  {
+    name = Printf.sprintf "random(%d)" seed;
+    key = (fun _ ~now:_ ~seq:_ -> Aqt_util.Prng.int prng 1_000_000_000);
+    discipline = Aqt_engine.Policy_type.By_key;
+    time_priority = false;
+    historic = true;
+  }
+
+let all_deterministic = [ fifo; lifo; lis; nis; ftg; ntg; ffs; nts ]
+
+let by_name name =
+  match String.lowercase_ascii name with
+  | "sis" -> sis
+  | other ->
+      List.find
+        (fun (p : t) -> String.equal p.name other)
+        all_deterministic

@@ -1,0 +1,58 @@
+(** The greedy queuing policies of the adversarial queuing literature.
+
+    Every policy here fixes a packet's priority when it enters a buffer (see
+    [Aqt_engine.Policy_type]); ties always resolve in arrival order.  The
+    classification flags record two properties the paper relies on:
+
+    - {e historic} (Def 3.1): scheduling is independent of the remaining route
+      beyond each packet's next edge — these policies admit the rerouting
+      technique of Lemma 3.3;
+    - {e time-priority} (Def 4.2): a packet arriving at time [t] beats any
+      packet injected after [t] — these policies get the sharper 1/d
+      stability bound of Theorem 4.3. *)
+
+type t = Aqt_engine.Policy_type.t
+
+val fifo : t
+(** First-in-first-out at each buffer.  Historic, time-priority. *)
+
+val lifo : t
+(** Last-in-first-out.  Historic, not time-priority. *)
+
+val lis : t
+(** Longest-in-system: earliest injection time first.  Universally stable
+    (Andrews et al.).  Historic, time-priority. *)
+
+val nis : t
+(** Newest-in-system: latest injection time first.  Historic. *)
+
+val sis : t
+(** Shortest-in-system — alias of {!nis}, the name used in part of the
+    literature. *)
+
+val ftg : t
+(** Furthest-to-go: most remaining edges first.  Universally stable.
+    Not historic (looks at the remaining route). *)
+
+val ntg : t
+(** Nearest-to-go: fewest remaining edges first.  Unstable at arbitrarily low
+    rates on suitable networks (Borodin et al.).  Not historic. *)
+
+val ffs : t
+(** Furthest-from-source: most traversed edges first.  Historic. *)
+
+val nts : t
+(** Nearest-to-source: fewest traversed edges first.  Historic. *)
+
+val random : seed:int -> t
+(** Uniform random choice among buffered packets (keys are random draws at
+    enqueue).  Greedy; used as a sanity arm in stability sweeps.  Each call
+    makes an independent deterministic policy. *)
+
+val all_deterministic : t list
+(** The nine named deterministic policies above, [sis] excluded (it equals
+    [nis]). *)
+
+val by_name : string -> t
+(** Look up a deterministic policy by name ("fifo", "ntg", ...).
+    @raise Not_found for unknown names. *)

@@ -1,0 +1,79 @@
+type series = { glyph : char; points : (float * float) array }
+
+type t = {
+  width : int;
+  height : int;
+  logy : bool;
+  title : string;
+  mutable series : series list;
+}
+
+let create ?(width = 72) ?(height = 20) ?(logy = false) ~title () =
+  { width; height; logy; title; series = [] }
+
+let add_series t ~glyph points = t.series <- { glyph; points } :: t.series
+
+let yval t y = if t.logy then log10 (Float.max 1.0 y) else y
+
+let render t =
+  let all =
+    List.concat_map (fun s -> Array.to_list s.points) t.series
+  in
+  match all with
+  | [] -> t.title ^ "\n(empty plot)\n"
+  | _ ->
+      let xs = List.map fst all and ys = List.map (fun (_, y) -> yval t y) all in
+      let xmin = List.fold_left Float.min Float.infinity xs in
+      let xmax = List.fold_left Float.max Float.neg_infinity xs in
+      let ymin = List.fold_left Float.min Float.infinity ys in
+      let ymax = List.fold_left Float.max Float.neg_infinity ys in
+      let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+      let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+      let raster = Array.make_matrix t.height t.width ' ' in
+      let plot s =
+        Array.iter
+          (fun (x, y) ->
+            let y = yval t y in
+            let col =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (t.width - 1))
+            in
+            let row =
+              t.height - 1
+              - int_of_float
+                  ((y -. ymin) /. yspan *. float_of_int (t.height - 1))
+            in
+            if col >= 0 && col < t.width && row >= 0 && row < t.height then
+              raster.(row).(col) <- s.glyph)
+          s.points
+      in
+      List.iter plot (List.rev t.series);
+      let buf = Buffer.create ((t.width + 12) * (t.height + 3)) in
+      Buffer.add_string buf t.title;
+      Buffer.add_char buf '\n';
+      let ylabel row =
+        let frac = float_of_int (t.height - 1 - row) /. float_of_int (t.height - 1) in
+        let v = ymin +. (frac *. yspan) in
+        let v = if t.logy then 10.0 ** v else v in
+        Printf.sprintf "%10.3g" v
+      in
+      for row = 0 to t.height - 1 do
+        let label =
+          if row = 0 || row = t.height - 1 || row = t.height / 2 then ylabel row
+          else String.make 10 ' '
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf " |";
+        Buffer.add_string buf (String.init t.width (fun c -> raster.(row).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (String.make 11 ' ');
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make t.width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%10.3g%s%.3g\n" xmin
+           (String.make (max 1 (t.width - 8)) ' ')
+           xmax);
+      Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,77 @@
+type 'a entry = { key : int; tie : int; value : 'a }
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length h = h.len
+let is_empty h = h.len = 0
+let lt a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
+
+let grow h e =
+  let cap = Array.length h.data in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  let ndata = Array.make ncap e in
+  Array.blit h.data 0 ndata 0 h.len;
+  h.data <- ndata
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && lt h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.len && lt h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~key ~tie value =
+  let e = { key; tie; value } in
+  if h.len = Array.length h.data then grow h e;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let min_elt h = if h.len = 0 then raise Not_found else h.data.(0).value
+
+let pop_min h =
+  if h.len = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    sift_down h 0
+  end;
+  top.value
+
+let iter f h =
+  for i = 0 to h.len - 1 do
+    f h.data.(i).value
+  done
+
+let fold f acc h =
+  let acc = ref acc in
+  for i = 0 to h.len - 1 do
+    acc := f !acc h.data.(i).value
+  done;
+  !acc
+
+let to_list h = List.init h.len (fun i -> h.data.(i).value)
+
+let to_sorted_list h =
+  let entries = Array.sub h.data 0 h.len in
+  Array.sort (fun a b -> if lt a b then -1 else if lt b a then 1 else 0) entries;
+  Array.to_list (Array.map (fun e -> e.value) entries)
+
+let clear h = h.len <- 0

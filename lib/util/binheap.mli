@@ -1,0 +1,34 @@
+(** Binary min-heaps with integer-pair keys.
+
+    Link buffers in the simulator are heaps keyed by [(primary, tiebreak)]:
+    the queuing policy computes [primary] when a packet enters the buffer and
+    [tiebreak] is the per-buffer arrival sequence number, so equal-priority
+    packets leave in FIFO order and every run is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> tie:int -> 'a -> unit
+(** Insert with priority [(key, tie)]; smaller pairs (lexicographically) pop
+    first. *)
+
+val min_elt : 'a t -> 'a
+(** @raise Not_found if empty. *)
+
+val pop_min : 'a t -> 'a
+(** Remove and return the minimum.  @raise Not_found if empty. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterates in arbitrary (heap) order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+(** Arbitrary order. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Ascending priority order; O(n log n), does not disturb the heap. *)
+
+val clear : 'a t -> unit

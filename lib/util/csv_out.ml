@@ -1,0 +1,44 @@
+type sink = Channel of out_channel | Buf of Buffer.t
+type t = { sink : sink }
+
+let to_channel oc = { sink = Channel oc }
+let to_buffer b = { sink = Buf b }
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let emit t s =
+  match t.sink with
+  | Channel oc -> output_string oc s
+  | Buf b -> Buffer.add_string b s
+
+let write_row t cells =
+  emit t (String.concat "," (List.map quote cells));
+  emit t "\n"
+
+let write_rows t rows = List.iter (write_row t) rows
+
+let with_file file ~headers body =
+  let oc = open_out file in
+  let t = to_channel oc in
+  match
+    write_row t headers;
+    body t
+  with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e

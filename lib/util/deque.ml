@@ -1,0 +1,69 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int; (* index of the front element *)
+  mutable len : int;
+}
+
+let create () = { data = [||]; head = 0; len = 0 }
+let length d = d.len
+let is_empty d = d.len = 0
+
+let grow d x =
+  let cap = Array.length d.data in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  let ndata = Array.make ncap x in
+  for i = 0 to d.len - 1 do
+    ndata.(i) <- d.data.((d.head + i) mod cap)
+  done;
+  d.data <- ndata;
+  d.head <- 0
+
+let push_back d x =
+  if d.len = Array.length d.data then grow d x;
+  let cap = Array.length d.data in
+  d.data.((d.head + d.len) mod cap) <- x;
+  d.len <- d.len + 1
+
+let push_front d x =
+  if d.len = Array.length d.data then grow d x;
+  let cap = Array.length d.data in
+  d.head <- (d.head + cap - 1) mod cap;
+  d.data.(d.head) <- x;
+  d.len <- d.len + 1
+
+let pop_front d =
+  if d.len = 0 then raise Not_found;
+  let x = d.data.(d.head) in
+  d.head <- (d.head + 1) mod Array.length d.data;
+  d.len <- d.len - 1;
+  if d.len = 0 then d.head <- 0;
+  x
+
+let pop_back d =
+  if d.len = 0 then raise Not_found;
+  let cap = Array.length d.data in
+  let x = d.data.((d.head + d.len - 1) mod cap) in
+  d.len <- d.len - 1;
+  if d.len = 0 then d.head <- 0;
+  x
+
+let peek_front d = if d.len = 0 then raise Not_found else d.data.(d.head)
+
+let peek_back d =
+  if d.len = 0 then raise Not_found
+  else d.data.((d.head + d.len - 1) mod Array.length d.data)
+
+let get d i =
+  if i < 0 || i >= d.len then invalid_arg "Deque.get";
+  d.data.((d.head + i) mod Array.length d.data)
+
+let iter f d =
+  for i = 0 to d.len - 1 do
+    f (get d i)
+  done
+
+let to_list d = List.init d.len (get d)
+
+let clear d =
+  d.len <- 0;
+  d.head <- 0

@@ -1,0 +1,37 @@
+(** Double-ended queues on a circular growable array.
+
+    O(1) amortized push/pop at both ends, O(1) random access from the front.
+    Used as the buffer representation for arrival-ordered queuing policies
+    (FIFO/LIFO), where a priority heap's O(log n) reordering is wasted. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a
+(** @raise Not_found if empty. *)
+
+val pop_back : 'a t -> 'a
+(** @raise Not_found if empty. *)
+
+val peek_front : 'a t -> 'a
+(** @raise Not_found if empty. *)
+
+val peek_back : 'a t -> 'a
+(** @raise Not_found if empty. *)
+
+val get : 'a t -> int -> 'a
+(** [get d i] is the i-th element from the front.
+    @raise Invalid_argument out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front to back. *)
+
+val to_list : 'a t -> 'a list
+(** Front to back. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,69 @@
+type t = {
+  counts : int array; (* bucket i holds values in [2^(i-1), 2^i - 1]; bucket 0 = {0} *)
+  mutable total : int;
+  mutable max_value : int;
+}
+
+let n_buckets = 63
+
+let create () =
+  { counts = Array.make n_buckets 0; total = 0; max_value = 0 }
+
+let bucket_of v =
+  if v = 0 then 0
+  else begin
+    (* 1 + position of the highest set bit: v in [2^(i-1), 2^i - 1] -> i. *)
+    let rec go i v = if v = 0 then i else go (i + 1) (v lsr 1) in
+    go 0 v
+  end
+
+let bucket_range i =
+  if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let record t v =
+  if v < 0 then invalid_arg "Histo.record: negative value";
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  if v > t.max_value then t.max_value <- v
+
+let count t = t.total
+let max_value t = t.max_value
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    let target = int_of_float (Float.ceil (p *. float_of_int t.total)) in
+    let target = max 1 target in
+    let rec go i acc =
+      if i >= n_buckets then t.max_value
+      else begin
+        let acc = acc + t.counts.(i) in
+        if acc >= target then min (snd (bucket_range i)) t.max_value
+        else go (i + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+let mean_upper t =
+  if t.total = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then
+          sum := !sum +. (float_of_int c *. float_of_int (snd (bucket_range i))))
+      t.counts;
+    !sum /. float_of_int t.total
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bucket_range i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc

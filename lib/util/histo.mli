@@ -1,0 +1,28 @@
+(** Compact histograms of nonnegative integers.
+
+    Power-of-two buckets: values [0], [1], [2-3], [4-7], ... — constant
+    memory regardless of sample count, suitable for always-on latency
+    accounting in the simulator.  Percentile estimates are upper bounds
+    (the top of the containing bucket), exact for values 0 and 1. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+(** @raise Invalid_argument on negative values. *)
+
+val count : t -> int
+val max_value : t -> int
+(** Exact maximum recorded value; 0 if empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0, 1]: an upper bound on the p-quantile
+    (the upper edge of the bucket containing it, clamped to [max_value]).
+    0 if empty. *)
+
+val mean_upper : t -> float
+(** Upper-bound estimate of the mean (each sample counted at its bucket
+    top). *)
+
+val buckets : t -> (int * int * int) list
+(** [(lo, hi, count)] for each nonempty bucket, ascending. *)

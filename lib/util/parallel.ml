@@ -1,0 +1,38 @@
+type 'b outcome = Value of 'b | Failed of exn
+
+let map ?workers f xs =
+  let n = List.length xs in
+  let workers =
+    match workers with
+    | Some w when w >= 1 -> w
+    | Some _ -> invalid_arg "Parallel.map: workers must be >= 1"
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  if n = 0 then []
+  else if workers = 1 || n = 1 then List.map f xs
+  else begin
+    let tasks = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r = try Value (f tasks.(i)) with e -> Failed e in
+          results.(i) <- Some r;
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains =
+      List.init (min workers n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Value v) -> v
+         | Some (Failed e) -> raise e
+         | None -> assert false)
+  end

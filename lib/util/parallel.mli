@@ -1,0 +1,14 @@
+(** Embarrassingly parallel map over OCaml 5 domains.
+
+    Experiment grids (policy x rate x scenario) are independent
+    single-threaded simulations, so the harness fans them out across
+    domains.  Tasks must not share mutable state; every simulator object in
+    this repository is created inside the task closure, so runs are isolated
+    by construction. *)
+
+val map :
+  ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~workers f xs] applies [f] to every element, preserving order.
+    [workers] defaults to [Domain.recommended_domain_count - 1], at least 1;
+    with one worker it degrades to [List.map].  Exceptions raised by [f] are
+    re-raised in the caller (the first one encountered in input order). *)

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every randomized component of the simulator takes an explicit [Prng.t] so
+    that experiments are reproducible bit-for-bit across runs and platforms.
+    Splitmix64 passes BigCrush, needs 64 bits of state, and is trivially
+    splittable, which keeps independent experiment arms decorrelated. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing) [t]. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0] required.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> num:int -> den:int -> bool
+(** [bernoulli t ~num ~den] is true with probability exactly [num/den]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable rows : string list list; (* reversed *)
+  mutable aligns : align array;
+}
+
+let create ~headers =
+  let ncols = List.length headers in
+  { headers; ncols; rows = []; aligns = Array.make ncols Right }
+
+let add_row t row =
+  if List.length row <> t.ncols then
+    invalid_arg
+      (Printf.sprintf "Tbl.add_row: expected %d cells, got %d" t.ncols
+         (List.length row));
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let set_align t aligns =
+  if List.length aligns <> t.ncols then invalid_arg "Tbl.set_align";
+  t.aligns <- Array.of_list aligns
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let consider row =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  List.iter consider rows;
+  let buf = Buffer.create 256 in
+  let emit_row ?(align_all = None) row =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let a = match align_all with Some a -> a | None -> t.aligns.(i) in
+        Buffer.add_string buf (pad a widths.(i) c))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row ~align_all:(Some Left) t.headers;
+  Array.iter
+    (fun w -> Buffer.add_string buf (String.make w '-' ^ "  "))
+    widths;
+  (* Trim the trailing separator spaces for tidiness. *)
+  let s = Buffer.contents buf in
+  let s = String.sub s 0 (String.length s - 2) ^ "\n" in
+  Buffer.clear buf;
+  Buffer.add_string buf s;
+  List.iter (fun row -> emit_row row) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fi = string_of_int
+let ff ?(dec = 3) x = Printf.sprintf "%.*f" dec x
+let fb b = if b then "yes" else "no"
+let fr = Ratio.to_string

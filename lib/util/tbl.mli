@@ -1,0 +1,33 @@
+(** Aligned plain-text tables for experiment output.
+
+    The benchmark harness prints every reproduced table through this module so
+    that all experiment output shares one format: a header row, a rule, and
+    right-aligned numeric columns. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header width. *)
+
+val add_rows : t -> string list list -> unit
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Right] for every column. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string], with a trailing newline. *)
+
+(** Cell formatting helpers. *)
+
+val fi : int -> string
+val ff : ?dec:int -> float -> string
+(** Fixed-point float with [dec] decimals (default 3). *)
+
+val fb : bool -> string
+(** ["yes"] / ["no"]. *)
+
+val fr : Ratio.t -> string

@@ -1,0 +1,57 @@
+(** Reusable workload scenarios: a topology plus a route family.
+
+    A scenario fixes everything about a stability experiment except the
+    policy and the adversary's timing: the graph, the set of routes packets
+    may take, and the longest route length [d] that the Section 4 theorems
+    key on.  Rates are the caller's business — pair a scenario with an
+    [Aqt_adversary.Stock] adversary over [routes].
+
+    All route families produce simple directed paths (validated). *)
+
+type t = {
+  name : string;
+  graph : Aqt_graph.Digraph.t;
+  routes : int array list;
+  d : int;  (** Longest route length. *)
+}
+
+val line_full : hops:int -> t
+(** One route spanning a directed line of [hops] edges — the maximal-d
+    single-flow workload used for tightness checks. *)
+
+val line_suffixes : hops:int -> t
+(** On a line of [hops] edges, the [hops] suffix routes; they all share the
+    final (hot) edge. *)
+
+val line_windows : hops:int -> d:int -> t
+(** Every [d]-hop contiguous subroute of a line of [hops] edges. *)
+
+val ring_wrap : nodes:int -> d:int -> t
+(** On a directed ring, one [d]-hop route starting at each node.  Every edge
+    carries exactly [d] routes. *)
+
+val parallel_spread : branches:int -> hops:int -> t
+(** Edge-disjoint branch routes of a parallel-paths graph: [branches] routes
+    that share no edge (the contention-free control arm). *)
+
+val tree_to_root : depth:int -> t
+(** Leaf-to-root routes of a complete binary in-tree: heavy overlap near the
+    root, max in-degree 2. *)
+
+val random_simple :
+  prng:Aqt_util.Prng.t -> nodes:int -> n_routes:int -> t
+(** Shortest paths between random node pairs of a random DAG (pairs with no
+    connecting path are skipped, so the result may hold fewer than
+    [n_routes] routes, but never zero — the generator retries until at least
+    one route exists). *)
+
+val standard_grid : unit -> t list
+(** The scenario battery used by the experiment harness. *)
+
+val validate : t -> bool
+(** Every route is a simple path of the graph and [d] is correct. *)
+
+val max_overlap : t -> int
+(** The largest number of routes sharing one edge — running every route at
+    rate [r / max_overlap] keeps the aggregate per-edge injection rate at
+    most [r]. *)

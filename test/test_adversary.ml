@@ -1,0 +1,459 @@
+(* Tests for flows, the exact rate checkers, stock adversaries and phase
+   sequencing. *)
+
+module R = Aqt_util.Ratio
+module B = Aqt_graph.Build
+module N = Aqt_engine.Network
+module Sim = Aqt_engine.Sim
+module Flow = Aqt_adversary.Flow
+module RC = Aqt_adversary.Rate_check
+module Stock = Aqt_adversary.Stock
+module Phased = Aqt_adversary.Phased
+module Policies = Aqt_policy.Policies
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let flow_cumulative () =
+  let f = Flow.make ~route:[| 0 |] ~rate:(R.make 2 5) ~start:10 ~stop:19 () in
+  check_int "before start" 0 (Flow.cumulative f 9);
+  check_int "after 1 step" 0 (Flow.cumulative f 10);
+  check_int "after 3 steps" 1 (Flow.cumulative f 12);
+  check_int "after 5 steps" 2 (Flow.cumulative f 14);
+  check_int "at stop" 4 (Flow.cumulative f 19);
+  check_int "beyond stop" 4 (Flow.cumulative f 100);
+  check_int "total" 4 (Flow.total f)
+
+let flow_count_at_sums () =
+  let f = Flow.make ~route:[| 0 |] ~rate:(R.make 3 7) ~start:1 ~stop:50 () in
+  let sum = ref 0 in
+  for t = 0 to 60 do
+    sum := !sum + Flow.count_at f t
+  done;
+  check_int "counts sum to total" (Flow.total f) !sum
+
+let flow_max_total () =
+  let f =
+    Flow.make ~max_total:3 ~route:[| 0 |] ~rate:R.one ~start:1 ~stop:100 ()
+  in
+  check_int "capped" 3 (Flow.total f);
+  check_bool "last injection" true (Flow.last_injection_step f = Some 3)
+
+let flow_last_injection () =
+  let f = Flow.make ~route:[| 0 |] ~rate:(R.make 1 4) ~start:5 ~stop:20 () in
+  (* Cumulative hits 1 at t=8, 2 at 12, 3 at 16, 4 at 20. *)
+  check_bool "last at stop" true (Flow.last_injection_step f = Some 20);
+  let empty =
+    Flow.make ~route:[| 0 |] ~rate:(R.make 1 10) ~start:1 ~stop:5 ()
+  in
+  check_bool "empty flow" true (Flow.last_injection_step empty = None)
+
+let flow_rejects () =
+  Alcotest.check_raises "start > stop"
+    (Invalid_argument "Flow.make: start > stop") (fun () ->
+      ignore (Flow.make ~route:[| 0 |] ~rate:R.half ~start:5 ~stop:4 ()));
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Flow.make: rate must be in (0, 1]") (fun () ->
+      ignore (Flow.make ~route:[| 0 |] ~rate:R.zero ~start:1 ~stop:2 ()));
+  Alcotest.check_raises "rate > 1"
+    (Invalid_argument "Flow.make: rate must be in (0, 1]") (fun () ->
+      ignore (Flow.make ~route:[| 0 |] ~rate:(R.make 3 2) ~start:1 ~stop:2 ()))
+
+let prop_flow_prefix_rate =
+  QCheck.Test.make ~name:"flow prefix counts obey floor(r*len)" ~count:300
+    (QCheck.triple
+       (QCheck.pair (QCheck.int_range 1 10) (QCheck.int_range 1 10))
+       (QCheck.int_range 1 50) (QCheck.int_range 0 80))
+    (fun ((p, q), start, extra) ->
+      let num = min p q and den = max p q in
+      let rate = R.make num den in
+      let f = Flow.make ~route:[| 0 |] ~rate ~start ~stop:(start + 60) () in
+      let t = start + extra in
+      Flow.cumulative f t <= R.floor_mul rate (min (t - start + 1) 61)
+      && Flow.cumulative f t >= 0
+      && Flow.cumulative f t >= Flow.cumulative f (t - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Rate_check                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let log_of_times edge times =
+  Array.of_list (List.map (fun t -> (t, [| edge |])) times)
+
+let rate_check_accepts_legal () =
+  (* 1 packet every 2 steps is exactly rate 1/2. *)
+  let log = log_of_times 0 [ 1; 3; 5; 7; 9 ] in
+  check_bool "legal" true (RC.check_rate ~m:1 ~rate:R.half log = Ok ())
+
+let rate_check_rejects_burst () =
+  (* Two same-step packets exceed ceil(1/2 * 1) = 1. *)
+  let log = log_of_times 0 [ 4; 4 ] in
+  match RC.check_rate ~m:1 ~rate:R.half log with
+  | Ok () -> Alcotest.fail "burst must be rejected"
+  | Error v ->
+      check_int "edge" 0 v.RC.edge;
+      check_int "t1" 4 v.RC.t1;
+      check_int "t2" 4 v.RC.t2;
+      check_int "count" 2 v.RC.count;
+      check_int "allowed" 1 v.RC.allowed
+
+let rate_check_interval_violation () =
+  (* Rate 1/3: interval [5,7] (len 3) allows ceil(1)=1 but receives 2. *)
+  let log = log_of_times 0 [ 5; 7; 10 ] in
+  (match RC.check_rate ~m:1 ~rate:(R.make 1 3) log with
+  | Ok () -> Alcotest.fail "should fail"
+  | Error v ->
+      check_int "count" 2 v.RC.count;
+      check_int "t1" 5 v.RC.t1;
+      check_int "t2" 7 v.RC.t2;
+      check_int "allowed" 1 v.RC.allowed);
+  (* Same times at rate 1/2 are fine: ceil(6/2) = 3. *)
+  check_bool "ok at 1/2" true
+    (RC.check_rate ~m:1 ~rate:R.half (log_of_times 0 [ 5; 7; 10 ]) = Ok ())
+
+let rate_check_multi_edge_routes () =
+  (* A route hits every edge it contains. *)
+  let log = [| (1, [| 0; 1 |]); (2, [| 1 |]) |] in
+  match RC.check_rate ~m:2 ~rate:(R.make 1 2) log with
+  | Ok () -> Alcotest.fail "edge 1 is overloaded"
+  | Error v -> check_int "edge 1 flagged" 1 v.RC.edge
+
+let rate_check_unsorted_rejected () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Rate_check: log not sorted by injection time")
+    (fun () ->
+      ignore (RC.check_rate ~m:1 ~rate:R.half (log_of_times 0 [ 5; 3 ])))
+
+let windowed_check () =
+  let rate = R.make 1 4 in
+  (* w=8 allows 2 per window; 3 packets within any 8 steps violate. *)
+  let bad = log_of_times 0 [ 1; 4; 8 ] in
+  (match RC.check_windowed ~m:1 ~w:8 ~rate bad with
+  | Ok () -> Alcotest.fail "windowed violation missed"
+  | Error v ->
+      check_int "count" 3 v.RC.count;
+      check_int "allowed" 2 v.RC.allowed);
+  let good = log_of_times 0 [ 1; 4; 12; 15; 23 ] in
+  check_bool "legal windowed" true (RC.check_windowed ~m:1 ~w:8 ~rate good = Ok ())
+
+let burstiness_measure () =
+  check_int "legal log has burstiness 0" 0
+    (RC.burstiness ~m:1 ~rate:R.half (log_of_times 0 [ 1; 3; 5 ]));
+  let b = RC.burstiness ~m:1 ~rate:R.half (log_of_times 0 [ 4; 4; 4 ]) in
+  check_int "triple burst needs slack 2" 2 b
+
+let leaky_check () =
+  let rate = R.make 1 4 in
+  (* Burst of 3 at step 1 then one every 4 steps: legal at b=3, not at b=2. *)
+  let times = [ 1; 1; 1; 4; 8; 12 ] in
+  check_bool "b=3 accepts" true
+    (RC.check_leaky ~m:1 ~b:3 ~rate (log_of_times 0 times) = Ok ());
+  (match RC.check_leaky ~m:1 ~b:2 ~rate (log_of_times 0 times) with
+  | Ok () -> Alcotest.fail "b=2 must reject"
+  | Error v ->
+      check_int "burst interval" 1 v.RC.t1;
+      check_bool "allowed r*len + b" true (v.RC.allowed >= 2));
+  (* b=0 leaky is stricter than the ceil-based rate-r check. *)
+  check_bool "single packet at t=1 passes rate-r" true
+    (RC.check_rate ~m:1 ~rate (log_of_times 0 [ 1 ]) = Ok ());
+  check_bool "but violates b=0 (ceil slack)" true
+    (Result.is_error (RC.check_leaky ~m:1 ~b:0 ~rate (log_of_times 0 [ 1 ])));
+  Alcotest.check_raises "negative burst"
+    (Invalid_argument "Rate_check.check_leaky: negative burst") (fun () ->
+      ignore (RC.check_leaky ~m:1 ~b:(-1) ~rate [||]))
+
+let prop_fast_equals_brute =
+  QCheck.Test.make ~name:"fast rate checker agrees with brute force"
+    ~count:200
+    (QCheck.triple
+       (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 1 8))
+       (QCheck.small_list (QCheck.int_range 1 30))
+       QCheck.bool)
+    (fun ((p, q), times, _) ->
+      let rate = R.make (min p q) (max p q) in
+      let times = List.sort compare times in
+      let log = log_of_times 0 times in
+      let fast = RC.check_rate ~m:1 ~rate log in
+      let brute = RC.check_rate_brute ~m:1 ~rate log in
+      Result.is_ok fast = Result.is_ok brute)
+
+(* Naive windowed check for cross-validation. *)
+let windowed_brute ~w ~allowed times =
+  let times = Array.of_list times in
+  let n = Array.length times in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let count = ref 0 in
+    for j = 0 to n - 1 do
+      if times.(j) > times.(i) - w && times.(j) <= times.(i) then incr count
+    done;
+    if !count > allowed then ok := false
+  done;
+  !ok
+
+let prop_windowed_equals_brute =
+  QCheck.Test.make ~name:"windowed checker agrees with brute force" ~count:300
+    (QCheck.triple
+       (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 1 8))
+       (QCheck.int_range 1 15)
+       (QCheck.small_list (QCheck.int_range 1 40)))
+    (fun ((p, q), w, times) ->
+      let rate = R.make (min p q) (max p q) in
+      let times = List.sort compare times in
+      let fast =
+        RC.check_windowed ~m:1 ~w ~rate (log_of_times 0 times) = Ok ()
+      in
+      let brute = windowed_brute ~w ~allowed:(R.floor_mul rate w) times in
+      fast = brute)
+
+let prop_flows_are_rate_legal =
+  QCheck.Test.make ~name:"any single flow passes its own rate check"
+    ~count:200
+    (QCheck.triple
+       (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 1 9))
+       (QCheck.int_range 1 20) (QCheck.int_range 0 40))
+    (fun ((p, q), start, len) ->
+      let rate = R.make (min p q) (max p q) in
+      let f = Flow.make ~route:[| 0 |] ~rate ~start ~stop:(start + len) () in
+      let times = ref [] in
+      for t = start + len downto start do
+        for _ = 1 to Flow.count_at f t do
+          times := t :: !times
+        done
+      done;
+      RC.check_rate ~m:1 ~rate (log_of_times 0 !times) = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Stock adversaries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_and_log ?(extra = 50) ~graph ~m (adv : Stock.t) horizon =
+  let net =
+    N.create ~log_injections:true ~graph ~policy:Policies.fifo ()
+  in
+  let _ = Sim.run ~net ~driver:adv.driver ~horizon:(horizon + extra) () in
+  (net, N.injection_log net, m)
+
+let token_bucket_is_exact () =
+  let l = B.line 3 in
+  let adv =
+    Stock.token_bucket ~rate:(R.make 2 7) ~routes:[ l.edges ] ~horizon:200 ()
+  in
+  let _, log, m = run_and_log ~graph:l.graph ~m:3 adv 200 in
+  check_bool "rate-r legal" true (RC.check_rate ~m ~rate:adv.rate log = Ok ());
+  check_int "injected floor(2/7*200)" 57 (Array.length log)
+
+let shared_bucket_overlapping_routes () =
+  let l = B.line 4 in
+  let routes =
+    [ l.edges; Array.sub l.edges 0 2; Array.sub l.edges 1 3 ]
+  in
+  let adv =
+    Stock.shared_token_bucket ~rate:(R.make 1 3) ~routes ~horizon:300 ()
+  in
+  let _, log, m = run_and_log ~graph:l.graph ~m:4 adv 300 in
+  check_bool "aggregate rate legal despite overlap" true
+    (RC.check_rate ~m ~rate:adv.rate log = Ok ());
+  (* Round-robin: each route gets 1/3 of 100 releases. *)
+  check_int "releases" 100 (Array.length log)
+
+let leaky_bucket_adversary_extremal () =
+  let l = B.line 2 in
+  let b = 5 in
+  let rate = R.make 1 3 in
+  let adv = Stock.leaky_bucket ~b ~rate ~routes:[ l.edges ] ~horizon:300 () in
+  let _, log, m = run_and_log ~graph:l.graph ~m:2 adv 300 in
+  check_bool "satisfies (b, r)" true (RC.check_leaky ~m ~b ~rate log = Ok ());
+  check_bool "saturates: (b-1, r) violated" true
+    (Result.is_error (RC.check_leaky ~m ~b:(b - 1) ~rate log));
+  check_int "volume = b + floor(r*300)" (b + 100) (Array.length log)
+
+let windowed_burst_legal () =
+  let l = B.line 2 in
+  List.iter
+    (fun packed ->
+      let adv =
+        Stock.windowed_burst ~packed ~w:12 ~rate:(R.make 1 4)
+          ~routes:[ l.edges ] ~horizon:240 ()
+      in
+      let _, log, m = run_and_log ~graph:l.graph ~m:2 adv 240 in
+      check_bool
+        (Printf.sprintf "windowed legal (packed=%b)" packed)
+        true
+        (RC.check_windowed ~m ~w:12 ~rate:adv.rate log = Ok ());
+      check_int "20 windows x 3" 60 (Array.length log))
+    [ false; true ]
+
+let bernoulli_roughly_rate () =
+  let l = B.line 2 in
+  let prng = Aqt_util.Prng.create 7 in
+  let adv = Stock.bernoulli ~prng ~rate:(R.make 1 5) ~routes:[ l.edges ] () in
+  check_bool "marked inexact" false adv.exact;
+  let net = N.create ~graph:l.graph ~policy:Policies.fifo () in
+  let _ = Sim.run ~net ~driver:adv.driver ~horizon:5000 () in
+  let n = N.injected_count net in
+  check_bool "mean near 1000" true (n > 850 && n < 1150)
+
+let replay_reproduces_run () =
+  (* Record a run, replay it, and require the identical trajectory. *)
+  let l = B.line 3 in
+  let adv =
+    Stock.token_bucket ~rate:(R.make 1 2) ~routes:[ l.edges ] ~horizon:100 ()
+  in
+  let net1, log, _ = run_and_log ~graph:l.graph ~m:3 adv 100 in
+  let adv2 = Stock.replay ~rate:(R.make 1 2) log in
+  let net2 =
+    N.create ~log_injections:true ~graph:l.graph ~policy:Policies.fifo ()
+  in
+  let _ = Sim.run ~net:net2 ~driver:adv2.driver ~horizon:150 () in
+  check_int "same absorbed" (N.absorbed net1) (N.absorbed net2);
+  check_int "same max queue" (N.max_queue_ever net1) (N.max_queue_ever net2);
+  check_int "same max dwell" (N.max_dwell net1) (N.max_dwell net2);
+  check_bool "same log" true (N.injection_log net2 = log)
+
+(* ------------------------------------------------------------------ *)
+(* Log_io                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Log_io = Aqt_adversary.Log_io
+
+let log_io_roundtrip () =
+  let t : Log_io.t =
+    {
+      meta = [ ("n", "9"); ("rate", "7/10") ];
+      initial = [| [| 0 |]; [| 0; 1 |] |];
+      log = [| (1, [| 0; 1; 2 |]); (1, [| 2 |]); (5, [| 1 |]) |];
+    }
+  in
+  let t' = Log_io.of_string (Log_io.to_string t) in
+  check_bool "meta" true (t'.meta = t.meta);
+  check_bool "initial" true (t'.initial = t.initial);
+  check_bool "log" true (t'.log = t.log);
+  check_bool "meta lookup" true (Log_io.meta_value t' "rate" = Some "7/10");
+  check_bool "meta missing" true (Log_io.meta_value t' "q" = None)
+
+let log_io_file_roundtrip () =
+  let file = Filename.temp_file "aqt_log" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let l = B.line 3 in
+      let net =
+        N.create ~log_injections:true ~graph:l.graph ~policy:Policies.fifo ()
+      in
+      ignore (N.place_initial net l.edges);
+      N.step net [ { route = l.edges; tag = "x" } ];
+      N.step net [ { route = Array.sub l.edges 1 2; tag = "y" } ];
+      let t = Log_io.of_network ~meta:[ ("kind", "test") ] net in
+      Log_io.save file t;
+      let t' = Log_io.load file in
+      check_bool "file roundtrip" true (t' = t);
+      check_int "one initial" 1 (Array.length t'.initial);
+      check_int "two injections" 2 (Array.length t'.log))
+
+let log_io_rejects_malformed () =
+  let fails s =
+    match Log_io.of_string s with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  check_bool "unsorted" true (fails "5 0\n3 0\n");
+  check_bool "empty route" true (fails "init\n");
+  check_bool "bad time" true (fails "abc 0\n");
+  check_bool "late init" true (fails "3 0\ninit 1\n");
+  check_bool "late meta" true (fails "init 0\nmeta a b\n");
+  check_bool "comments and blanks ok" false (fails "# hi\n\ninit 0\n1 0\n")
+
+(* ------------------------------------------------------------------ *)
+(* Phased                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let phased_sequence_runs_in_order () =
+  let l = B.line 1 in
+  let net = N.create ~graph:l.graph ~policy:Policies.fifo () in
+  let seen = ref [] in
+  let mk_phase name dur : Phased.phase =
+   fun _ start ->
+    seen := (name, start) :: !seen;
+    (Sim.null_driver, dur)
+  in
+  let driver =
+    Phased.sequence [ mk_phase "a" 3; mk_phase "b" 2; mk_phase "c" 4 ]
+  in
+  let _ = Sim.run ~net ~driver ~horizon:20 () in
+  check_bool "phase starts" true
+    (List.rev !seen = [ ("a", 1); ("b", 4); ("c", 6) ])
+
+let phased_cycle_repeats () =
+  let l = B.line 1 in
+  let net = N.create ~graph:l.graph ~policy:Policies.fifo () in
+  let cycles = ref [] in
+  let phases = [ Phased.idle 3; Phased.idle 2 ] in
+  let driver = Phased.cycle ~on_cycle:(fun k t -> cycles := (k, t) :: !cycles) phases in
+  let _ = Sim.run ~net ~driver ~horizon:12 () in
+  check_bool "cycle starts every 5 steps" true
+    (List.rev !cycles = [ (0, 1); (1, 6); (2, 11) ])
+
+let phased_bad_duration () =
+  let l = B.line 1 in
+  let net = N.create ~graph:l.graph ~policy:Policies.fifo () in
+  let driver = Phased.sequence [ (fun _ _ -> (Sim.null_driver, 0)) ] in
+  Alcotest.check_raises "zero duration"
+    (Invalid_argument "Phased: phase returned non-positive duration")
+    (fun () -> ignore (Sim.run ~net ~driver ~horizon:3 ()))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "aqt_adversary"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "cumulative" `Quick flow_cumulative;
+          Alcotest.test_case "count_at sums" `Quick flow_count_at_sums;
+          Alcotest.test_case "max_total" `Quick flow_max_total;
+          Alcotest.test_case "last injection" `Quick flow_last_injection;
+          Alcotest.test_case "rejections" `Quick flow_rejects;
+          q prop_flow_prefix_rate;
+        ] );
+      ( "rate-check",
+        [
+          Alcotest.test_case "accepts legal" `Quick rate_check_accepts_legal;
+          Alcotest.test_case "rejects burst" `Quick rate_check_rejects_burst;
+          Alcotest.test_case "interval violation" `Quick rate_check_interval_violation;
+          Alcotest.test_case "multi-edge routes" `Quick rate_check_multi_edge_routes;
+          Alcotest.test_case "unsorted rejected" `Quick rate_check_unsorted_rejected;
+          Alcotest.test_case "windowed" `Quick windowed_check;
+          Alcotest.test_case "leaky bucket" `Quick leaky_check;
+          Alcotest.test_case "burstiness" `Quick burstiness_measure;
+          q prop_fast_equals_brute;
+          q prop_windowed_equals_brute;
+          q prop_flows_are_rate_legal;
+        ] );
+      ( "stock",
+        [
+          Alcotest.test_case "token bucket exact" `Quick token_bucket_is_exact;
+          Alcotest.test_case "shared bucket overlap" `Quick
+            shared_bucket_overlapping_routes;
+          Alcotest.test_case "windowed burst legal" `Quick windowed_burst_legal;
+          Alcotest.test_case "leaky bucket extremal" `Quick
+            leaky_bucket_adversary_extremal;
+          Alcotest.test_case "bernoulli mean" `Quick bernoulli_roughly_rate;
+          Alcotest.test_case "replay reproduces" `Quick replay_reproduces_run;
+        ] );
+      ( "log-io",
+        [
+          Alcotest.test_case "string roundtrip" `Quick log_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick log_io_file_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick log_io_rejects_malformed;
+        ] );
+      ( "phased",
+        [
+          Alcotest.test_case "sequence order" `Quick phased_sequence_runs_in_order;
+          Alcotest.test_case "cycle repeats" `Quick phased_cycle_repeats;
+          Alcotest.test_case "bad duration" `Quick phased_bad_duration;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Structural tests for the gadget graphs of Figures 3.1 and 3.2. *)
+
+module D = Aqt_graph.Digraph
+module G = Aqt.Gadget
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A chain of M gadgets with path length n has:
+   nodes: 2(M+1) shared-edge endpoints + 2M(n-1) path interiors
+   edges: (M+1) shared + 2Mn path edges (+1 stitch when cyclic). *)
+let expected_nodes ~n ~m = (2 * (m + 1)) + (2 * m * (n - 1))
+let expected_edges ~n ~m = m + 1 + (2 * m * n)
+
+let structure_counts () =
+  List.iter
+    (fun (n, m) ->
+      let g = G.chain ~n ~m () in
+      check_int
+        (Printf.sprintf "nodes n=%d m=%d" n m)
+        (expected_nodes ~n ~m)
+        (D.n_nodes g.graph);
+      check_int
+        (Printf.sprintf "edges n=%d m=%d" n m)
+        (expected_edges ~n ~m)
+        (D.n_edges g.graph);
+      let c = G.cyclic ~n ~m () in
+      check_int "cyclic adds one edge"
+        (expected_edges ~n ~m + 1)
+        (D.n_edges c.graph))
+    [ (1, 1); (2, 1); (4, 2); (8, 3); (3, 5) ]
+
+let asymmetric_f_len () =
+  let g = G.chain ~f_len:2 ~n:5 ~m:3 () in
+  check_int "f-path shorter" 2 (Array.length g.f.(0));
+  check_int "e-path unchanged" 5 (Array.length g.e.(0));
+  (* Edges: (m+1) shared + m*(n + f_len). *)
+  check_int "edges" (4 + (3 * 7)) (D.n_edges g.graph);
+  (* Every construction route is still a simple path. *)
+  check_bool "ingress remaining" true
+    (D.route_is_simple g.graph (G.ingress_remaining g ~k:2));
+  check_bool "pump long" true
+    (D.route_is_simple g.graph (G.pump_long_route g ~k:1));
+  Alcotest.check_raises "f_len > n rejected"
+    (Invalid_argument "Gadget: f_len must be in [1, n]") (fun () ->
+      ignore (G.chain ~f_len:6 ~n:5 ~m:1 ()))
+
+let figure_3_1 () =
+  (* Figure 3.1 is F_n^2. *)
+  let g = G.chain ~n:4 ~m:2 () in
+  check_int "three shared edges" 3 (Array.length g.a);
+  check_int "ingress of F" g.a.(0) (G.ingress g ~k:1);
+  check_int "egress of F = ingress of F'" (G.egress g ~k:1) (G.ingress g ~k:2);
+  check_bool "acyclic" true (D.is_dag g.graph);
+  (* Degree-1 source and sink. *)
+  let src = D.src g.graph g.a.(0) in
+  check_int "source degree" 1 (D.out_degree g.graph src);
+  check_int "source in-degree" 0 (D.in_degree g.graph src)
+
+let figure_3_2 () =
+  let g = G.cyclic ~n:4 ~m:3 () in
+  check_bool "has stitch edge" true (g.e0 <> None);
+  check_bool "cyclic" false (D.is_dag g.graph);
+  let e0 = G.stitch_edge g in
+  check_int "e0 leaves the last egress head" (D.dst g.graph g.a.(3))
+    (D.src g.graph e0);
+  check_int "e0 enters the first ingress tail" (D.src g.graph g.a.(0))
+    (D.dst g.graph e0);
+  (* Removing e0 conceptually: the chain part remains a DAG; verify the
+     stitch route is a valid simple path. *)
+  check_bool "stitch route valid" true
+    (D.route_is_simple g.graph (G.stitch_route g))
+
+let routes_are_simple_paths () =
+  let g = G.cyclic ~n:5 ~m:4 () in
+  let check name route =
+    if not (D.route_is_simple g.graph route) then
+      Alcotest.failf "%s is not a simple path" name
+  in
+  check "seed" (G.seed_route g);
+  check "startup extension" (Array.append (G.seed_route g) (G.startup_extension g));
+  check "startup long" (G.startup_long_route g);
+  for k = 1 to 3 do
+    check
+      (Printf.sprintf "pump long %d" k)
+      (G.pump_long_route g ~k);
+    check (Printf.sprintf "pump tail %d" k) (G.pump_tail_route g ~k);
+    check
+      (Printf.sprintf "ingress remaining %d" k)
+      (G.ingress_remaining g ~k)
+  done;
+  for k = 1 to 4 do
+    for i = 1 to 5 do
+      check (Printf.sprintf "e remaining %d %d" k i) (G.e_remaining g ~k ~i)
+    done
+  done;
+  check "stitch" (G.stitch_route g)
+
+let route_contents () =
+  let g = G.chain ~n:3 ~m:2 () in
+  (* e_remaining k=1 i=2 is e2,e3,a1. *)
+  let r = G.e_remaining g ~k:1 ~i:2 in
+  check_int "length n - i + 2" 3 (Array.length r);
+  check_bool "labels" true
+    (Array.to_list (Array.map (D.label g.graph) r) = [ "e1_2"; "e1_3"; "a1" ]);
+  let ir = G.ingress_remaining g ~k:2 in
+  check_bool "ingress route labels" true
+    (Array.to_list (Array.map (D.label g.graph) ir)
+    = [ "a1"; "f2_1"; "f2_2"; "f2_3"; "a2" ]);
+  let ext = G.extension_suffix g ~k:1 in
+  check_bool "extension labels" true
+    (Array.to_list (Array.map (D.label g.graph) ext)
+    = [ "e2_1"; "e2_2"; "e2_3"; "a2" ]);
+  let pl = G.pump_long_route g ~k:1 in
+  check_bool "pump long spans both f-paths" true
+    (Array.to_list (Array.map (D.label g.graph) pl)
+    = [ "a0"; "f1_1"; "f1_2"; "f1_3"; "a1"; "f2_1"; "f2_2"; "f2_3"; "a2" ])
+
+let gadget_edges_cover () =
+  let g = G.chain ~n:3 ~m:2 () in
+  let edges1 = G.gadget_edges g ~k:1 in
+  check_int "gadget edge count (2n + 2 shared)" 8 (List.length edges1);
+  check_bool "contains ingress" true (List.mem (G.ingress g ~k:1) edges1);
+  check_bool "contains egress" true (List.mem (G.egress g ~k:1) edges1);
+  (* Shared edge belongs to both gadgets. *)
+  let edges2 = G.gadget_edges g ~k:2 in
+  check_bool "a1 in both" true
+    (List.mem g.a.(1) edges1 && List.mem g.a.(1) edges2)
+
+let rejections () =
+  Alcotest.check_raises "n >= 1" (Invalid_argument "Gadget: n must be >= 1")
+    (fun () -> ignore (G.fn ~n:0));
+  Alcotest.check_raises "m >= 1" (Invalid_argument "Gadget: m must be >= 1")
+    (fun () -> ignore (G.chain ~n:2 ~m:0 ()));
+  let g = G.chain ~n:2 ~m:2 () in
+  Alcotest.check_raises "k range"
+    (Invalid_argument "Gadget: gadget index 3 out of range") (fun () ->
+      ignore (G.ingress g ~k:3));
+  Alcotest.check_raises "no successor"
+    (Invalid_argument "Gadget.extension_suffix: gadget has no successor")
+    (fun () -> ignore (G.extension_suffix g ~k:2));
+  Alcotest.check_raises "stitch on chain"
+    (Invalid_argument "Gadget.stitch_edge: not a cyclic graph") (fun () ->
+      ignore (G.stitch_edge g))
+
+let describe_smoke () =
+  let g = G.cyclic ~n:2 ~m:3 () in
+  let s = G.describe g in
+  check_bool "mentions size" true (String.length s > 10)
+
+(* Random gadget parameters preserve every structural invariant. *)
+let prop_gadget_structure =
+  QCheck.Test.make ~name:"random gadget parameters keep structure sound"
+    ~count:100
+    (QCheck.triple (QCheck.int_range 1 10) (QCheck.int_range 1 10)
+       (QCheck.int_range 1 6))
+    (fun (n, f_len_raw, m) ->
+      let f_len = 1 + (f_len_raw mod n) in
+      let g = G.chain ~f_len ~n ~m () in
+      D.n_edges g.graph = m + 1 + (m * (n + f_len))
+      && D.n_nodes g.graph = (2 * (m + 1)) + (m * (n - 1)) + (m * (f_len - 1))
+      && D.is_dag g.graph
+      && (let ok = ref true in
+          for k = 1 to m do
+            if not (D.route_is_simple g.graph (G.ingress_remaining g ~k)) then
+              ok := false;
+            for i = 1 to n do
+              if not (D.route_is_simple g.graph (G.e_remaining g ~k ~i)) then
+                ok := false
+            done
+          done;
+          !ok))
+
+let () =
+  Alcotest.run "aqt_gadget"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "node/edge counts" `Quick structure_counts;
+          Alcotest.test_case "asymmetric f_len" `Quick asymmetric_f_len;
+          Alcotest.test_case "figure 3.1" `Quick figure_3_1;
+          Alcotest.test_case "figure 3.2" `Quick figure_3_2;
+        ] );
+      ( "routes",
+        [
+          Alcotest.test_case "all simple paths" `Quick routes_are_simple_paths;
+          Alcotest.test_case "contents" `Quick route_contents;
+          Alcotest.test_case "gadget edges" `Quick gadget_edges_cover;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "rejections" `Quick rejections;
+          Alcotest.test_case "describe" `Quick describe_smoke;
+          QCheck_alcotest.to_alcotest prop_gadget_structure;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the C(S, F_n) invariant checker (Definition 3.5), on hand-built
+   network states. *)
+
+module N = Aqt_engine.Network
+module G = Aqt.Gadget
+module I = Aqt.Invariant
+module Policies = Aqt_policy.Policies
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Build C(s, F(1)) exactly on a fresh fn-graph network at time 0: one seed
+   per e-buffer plus extras on e_1, and s packets at the ingress. *)
+let build_c ~n ~s =
+  let g = G.fn ~n in
+  let net = N.create ~graph:g.graph ~policy:Policies.fifo () in
+  assert (s >= n);
+  (* Clause 2: every e_i buffer nonempty, remaining route e_i..e_n,a1. *)
+  for i = 1 to n do
+    ignore (N.place_initial net (G.e_remaining g ~k:1 ~i))
+  done;
+  for _ = n + 1 to s do
+    ignore (N.place_initial net (G.e_remaining g ~k:1 ~i:1))
+  done;
+  (* Clause 3: s packets at the ingress. *)
+  for _ = 1 to s do
+    ignore (N.place_initial net (G.ingress_remaining g ~k:1))
+  done;
+  (net, g)
+
+let strict_holds () =
+  let net, g = build_c ~n:4 ~s:7 in
+  match I.check_strict net g ~k:1 with
+  | Ok s -> check_int "C(7, F)" 7 s
+  | Error e -> Alcotest.failf "invariant should hold: %s" e
+
+let measurement_fields () =
+  let net, g = build_c ~n:4 ~s:7 in
+  let m = I.measure net g ~k:1 in
+  check_int "s_epath" 7 m.s_epath;
+  check_int "s_ingress" 7 m.s_ingress;
+  check_int "empty e-buffers" 0 m.empty_e_buffers;
+  check_int "bad e routes" 0 m.bad_e_routes;
+  check_int "bad ingress routes" 0 m.bad_ingress_routes;
+  check_int "extraneous" 0 m.extraneous;
+  check_int "egress occupancy" 0 m.egress_occupancy;
+  check_int "occupancy" 14 (I.gadget_occupancy net g ~k:1)
+
+let detects_empty_buffer () =
+  let g = G.fn ~n:3 in
+  let net = N.create ~graph:g.graph ~policy:Policies.fifo () in
+  (* Skip e_2's buffer. *)
+  ignore (N.place_initial net (G.e_remaining g ~k:1 ~i:1));
+  ignore (N.place_initial net (G.e_remaining g ~k:1 ~i:3));
+  ignore (N.place_initial net (G.ingress_remaining g ~k:1));
+  ignore (N.place_initial net (G.ingress_remaining g ~k:1));
+  match I.check_strict net g ~k:1 with
+  | Ok _ -> Alcotest.fail "must detect the empty e_2 buffer"
+  | Error e -> check_bool "mentions empty" true (String.length e > 0)
+
+let detects_wrong_route () =
+  let g = G.fn ~n:3 in
+  let net = N.create ~graph:g.graph ~policy:Policies.fifo () in
+  for i = 1 to 3 do
+    ignore (N.place_initial net (G.e_remaining g ~k:1 ~i))
+  done;
+  (* An e-path packet that stops short of the egress. *)
+  ignore (N.place_initial net [| g.e.(0).(0) |]);
+  for _ = 1 to 4 do
+    ignore (N.place_initial net (G.ingress_remaining g ~k:1))
+  done;
+  let m = I.measure net g ~k:1 in
+  check_int "one bad e route" 1 m.bad_e_routes;
+  check_bool "strict fails" true (Result.is_error (I.check_strict net g ~k:1))
+
+let detects_extraneous () =
+  let net, g = build_c ~n:3 ~s:5 in
+  ignore net;
+  let g2 = g in
+  let net2 = N.create ~graph:g2.graph ~policy:Policies.fifo () in
+  for i = 1 to 3 do
+    ignore (N.place_initial net2 (G.e_remaining g2 ~k:1 ~i))
+  done;
+  for _ = 1 to 3 do
+    ignore (N.place_initial net2 (G.ingress_remaining g2 ~k:1))
+  done;
+  (* A packet on the f-path. *)
+  ignore (N.place_initial net2 [| g2.f.(0).(1) |]);
+  let m = I.measure net2 g2 ~k:1 in
+  check_int "extraneous" 1 m.extraneous;
+  check_bool "strict fails" true (Result.is_error (I.check_strict net2 g2 ~k:1))
+
+let detects_imbalance () =
+  let g = G.fn ~n:2 in
+  let net = N.create ~graph:g.graph ~policy:Policies.fifo () in
+  for i = 1 to 2 do
+    ignore (N.place_initial net (G.e_remaining g ~k:1 ~i))
+  done;
+  (* Only one ingress packet for two e-path packets. *)
+  ignore (N.place_initial net (G.ingress_remaining g ~k:1));
+  (match I.check_strict net g ~k:1 with
+  | Ok _ -> Alcotest.fail "imbalance must fail strict check"
+  | Error _ -> ());
+  check_bool "slack 1 accepts" true (I.holds_with_slack ~slack:1 net g ~k:1);
+  check_bool "slack 0 rejects" false (I.holds_with_slack ~slack:0 net g ~k:1)
+
+let detects_bad_ingress_route () =
+  let g = G.fn ~n:2 in
+  let net = N.create ~graph:g.graph ~policy:Policies.fifo () in
+  for i = 1 to 2 do
+    ignore (N.place_initial net (G.e_remaining g ~k:1 ~i))
+  done;
+  ignore (N.place_initial net (G.ingress_remaining g ~k:1));
+  (* An ingress packet with a single-edge route. *)
+  ignore (N.place_initial net (G.seed_route g));
+  let m = I.measure net g ~k:1 in
+  check_int "bad ingress route" 1 m.bad_ingress_routes
+
+let second_gadget_of_chain () =
+  let g = G.chain ~n:3 ~m:2 () in
+  let net = N.create ~graph:g.graph ~policy:Policies.fifo () in
+  for i = 1 to 3 do
+    ignore (N.place_initial net (G.e_remaining g ~k:2 ~i))
+  done;
+  for _ = 1 to 3 do
+    ignore (N.place_initial net (G.ingress_remaining g ~k:2))
+  done;
+  (match I.check_strict net g ~k:2 with
+  | Ok s -> check_int "C(3, F(2))" 3 s
+  | Error e -> Alcotest.failf "should hold on gadget 2: %s" e);
+  (* Gadget 1 sees those ingress packets in its egress buffer... *)
+  let m1 = I.measure net g ~k:1 in
+  check_int "gadget1 egress occupancy" 3 m1.egress_occupancy;
+  check_int "gadget1 epath empty" 3 m1.empty_e_buffers
+
+(* Any exactly-built C(S, F(k)) state passes the strict check, for random
+   gadget parameters and distributions of packets over the e-buffers. *)
+let prop_built_states_pass =
+  QCheck.Test.make ~name:"constructed C(S,F) states satisfy the checker"
+    ~count:100
+    (QCheck.triple (QCheck.int_range 1 6) (QCheck.int_range 1 3)
+       (QCheck.int_range 0 10_000))
+    (fun (n, k, seed) ->
+      let prng = Aqt_util.Prng.create seed in
+      let m = k + Aqt_util.Prng.int prng 2 in
+      let g = G.chain ~n ~m () in
+      let net = N.create ~graph:g.graph ~policy:Policies.fifo () in
+      let extra = Aqt_util.Prng.int prng 12 in
+      let s = n + extra in
+      (* One packet per e-buffer, the surplus scattered randomly. *)
+      for i = 1 to n do
+        ignore (N.place_initial net (G.e_remaining g ~k ~i))
+      done;
+      for _ = 1 to extra do
+        let i = 1 + Aqt_util.Prng.int prng n in
+        ignore (N.place_initial net (G.e_remaining g ~k ~i))
+      done;
+      for _ = 1 to s do
+        ignore (N.place_initial net (G.ingress_remaining g ~k))
+      done;
+      I.check_strict net g ~k = Ok s)
+
+let () =
+  Alcotest.run "aqt_invariant"
+    [
+      ( "invariant",
+        [
+          Alcotest.test_case "strict holds" `Quick strict_holds;
+          Alcotest.test_case "measurement fields" `Quick measurement_fields;
+          Alcotest.test_case "empty buffer detected" `Quick detects_empty_buffer;
+          Alcotest.test_case "wrong route detected" `Quick detects_wrong_route;
+          Alcotest.test_case "extraneous detected" `Quick detects_extraneous;
+          Alcotest.test_case "imbalance and slack" `Quick detects_imbalance;
+          Alcotest.test_case "bad ingress route" `Quick detects_bad_ingress_route;
+          Alcotest.test_case "second gadget" `Quick second_gadget_of_chain;
+          QCheck_alcotest.to_alcotest prop_built_states_pass;
+        ] );
+    ]

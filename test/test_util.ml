@@ -1,0 +1,519 @@
+(* Unit and property tests for the aqt_util substrate. *)
+
+module Ratio = Aqt_util.Ratio
+module Dyn = Aqt_util.Dynarray_compat
+module Heap = Aqt_util.Binheap
+module Prng = Aqt_util.Prng
+module Tbl = Aqt_util.Tbl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Ratio                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ratio_normalization () =
+  let r = Ratio.make 6 4 in
+  check_int "num" 3 (Ratio.num r);
+  check_int "den" 2 (Ratio.den r);
+  let r = Ratio.make (-6) 4 in
+  check_int "neg num" (-3) (Ratio.num r);
+  check_int "neg den" 2 (Ratio.den r);
+  let r = Ratio.make 6 (-4) in
+  check_int "den sign moves" (-3) (Ratio.num r);
+  check_int "den positive" 2 (Ratio.den r);
+  let r = Ratio.make 0 (-7) in
+  check_int "zero num" 0 (Ratio.num r);
+  check_int "zero den" 1 (Ratio.den r)
+
+let ratio_zero_den () =
+  Alcotest.check_raises "zero denominator"
+    (Invalid_argument "Ratio.make: zero denominator") (fun () ->
+      ignore (Ratio.make 1 0))
+
+let ratio_arith () =
+  let a = Ratio.make 1 2 and b = Ratio.make 1 3 in
+  check_bool "add" true Ratio.(equal (add a b) (make 5 6));
+  check_bool "sub" true Ratio.(equal (sub a b) (make 1 6));
+  check_bool "mul" true Ratio.(equal (mul a b) (make 1 6));
+  check_bool "div" true Ratio.(equal (div a b) (make 3 2));
+  check_bool "neg" true Ratio.(equal (neg a) (make (-1) 2));
+  check_bool "inv" true Ratio.(equal (inv (make 2 5)) (make 5 2));
+  check_bool "mul_int" true Ratio.(equal (mul_int b 6) (of_int 2))
+
+let ratio_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Ratio.div Ratio.one Ratio.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Ratio.inv Ratio.zero))
+
+let ratio_floor_ceil () =
+  check_int "floor 7/2" 3 (Ratio.floor (Ratio.make 7 2));
+  check_int "ceil 7/2" 4 (Ratio.ceil (Ratio.make 7 2));
+  check_int "floor -7/2" (-4) (Ratio.floor (Ratio.make (-7) 2));
+  check_int "ceil -7/2" (-3) (Ratio.ceil (Ratio.make (-7) 2));
+  check_int "floor integer" 5 (Ratio.floor (Ratio.of_int 5));
+  check_int "ceil integer" 5 (Ratio.ceil (Ratio.of_int 5));
+  check_int "floor_mul 3/5 * 7" 4 (Ratio.floor_mul (Ratio.make 3 5) 7);
+  check_int "ceil_mul 3/5 * 7" 5 (Ratio.ceil_mul (Ratio.make 3 5) 7);
+  check_int "floor_mul exact" 3 (Ratio.floor_mul (Ratio.make 3 5) 5);
+  check_int "ceil_mul exact" 3 (Ratio.ceil_mul (Ratio.make 3 5) 5)
+
+let ratio_compare () =
+  check_bool "lt" true Ratio.(make 1 3 < make 1 2);
+  check_bool "le eq" true Ratio.(make 2 4 <= make 1 2);
+  check_bool "gt" true Ratio.(make 2 3 > make 1 2);
+  check_bool "min" true Ratio.(equal (min (make 1 3) (make 1 2)) (make 1 3));
+  check_bool "max" true Ratio.(equal (max (make 1 3) (make 1 2)) (make 1 2))
+
+let ratio_of_float () =
+  check_bool "1/3" true
+    Ratio.(equal (of_float_approx (1.0 /. 3.0)) (make 1 3));
+  check_bool "0.75" true Ratio.(equal (of_float_approx 0.75) (make 3 4));
+  check_bool "negative" true
+    Ratio.(equal (of_float_approx (-0.5)) (make (-1) 2));
+  check_bool "integer" true Ratio.(equal (of_float_approx 4.0) (of_int 4))
+
+let ratio_to_string () =
+  check_string "fraction" "3/7" (Ratio.to_string (Ratio.make 3 7));
+  check_string "integer" "2" (Ratio.to_string (Ratio.of_int 2))
+
+let small_ratio =
+  QCheck.map
+    (fun (p, q) -> Ratio.make p q)
+    (QCheck.pair (QCheck.int_range (-50) 50) (QCheck.int_range 1 50))
+
+let prop_ratio_add_commutes =
+  QCheck.Test.make ~name:"ratio add commutes" ~count:500
+    (QCheck.pair small_ratio small_ratio) (fun (a, b) ->
+      Ratio.(equal (add a b) (add b a)))
+
+let prop_ratio_mul_assoc =
+  QCheck.Test.make ~name:"ratio mul associates" ~count:500
+    (QCheck.triple small_ratio small_ratio small_ratio) (fun (a, b, c) ->
+      Ratio.(equal (mul (mul a b) c) (mul a (mul b c))))
+
+let prop_ratio_floor_mul =
+  QCheck.Test.make ~name:"floor_mul matches floor of product" ~count:500
+    (QCheck.pair small_ratio (QCheck.int_range 0 100)) (fun (r, k) ->
+      Ratio.floor_mul r k = Ratio.floor (Ratio.mul_int r k))
+
+let prop_ratio_floor_ceil_adjacent =
+  QCheck.Test.make ~name:"ceil - floor is 0 or 1" ~count:500 small_ratio
+    (fun r ->
+      let d = Ratio.ceil r - Ratio.floor r in
+      d = 0 || d = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Dynarray_compat                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let dyn_basics () =
+  let d = Dyn.create () in
+  check_bool "fresh empty" true (Dyn.is_empty d);
+  for i = 0 to 99 do
+    Dyn.push d i
+  done;
+  check_int "length" 100 (Dyn.length d);
+  check_int "get 57" 57 (Dyn.get d 57);
+  Dyn.set d 57 (-1);
+  check_int "set/get" (-1) (Dyn.get d 57);
+  check_int "last" 99 (Dyn.last d);
+  check_int "pop" 99 (Dyn.pop d);
+  check_int "length after pop" 99 (Dyn.length d);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Dynarray_compat.get") (fun () -> ignore (Dyn.get d 99))
+
+let dyn_swap_remove () =
+  let d = Dyn.of_list [ 10; 20; 30; 40 ] in
+  let removed = Dyn.swap_remove d 1 in
+  check_int "removed" 20 removed;
+  check_int "length" 3 (Dyn.length d);
+  check_bool "40 moved into slot" true (Dyn.get d 1 = 40)
+
+let dyn_iter_fold () =
+  let d = Dyn.of_list [ 1; 2; 3; 4 ] in
+  check_int "fold sum" 10 (Dyn.fold_left ( + ) 0 d);
+  let acc = ref [] in
+  Dyn.iteri (fun i x -> acc := (i, x) :: !acc) d;
+  check_int "iteri count" 4 (List.length !acc);
+  check_bool "exists" true (Dyn.exists (fun x -> x = 3) d);
+  check_bool "for_all" true (Dyn.for_all (fun x -> x > 0) d);
+  check_bool "to_list" true (Dyn.to_list d = [ 1; 2; 3; 4 ]);
+  Dyn.clear d;
+  check_int "cleared" 0 (Dyn.length d)
+
+let prop_dyn_model =
+  QCheck.Test.make ~name:"dynarray behaves like a list" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let d = Dyn.create () in
+      List.iter (Dyn.push d) xs;
+      Dyn.to_list d = xs && Dyn.length d = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Dq = Aqt_util.Deque
+
+let deque_basics () =
+  let d = Dq.create () in
+  check_bool "empty" true (Dq.is_empty d);
+  Dq.push_back d 1;
+  Dq.push_back d 2;
+  Dq.push_front d 0;
+  check_int "length" 3 (Dq.length d);
+  check_bool "order" true (Dq.to_list d = [ 0; 1; 2 ]);
+  check_int "peek front" 0 (Dq.peek_front d);
+  check_int "peek back" 2 (Dq.peek_back d);
+  check_int "get" 1 (Dq.get d 1);
+  check_int "pop front" 0 (Dq.pop_front d);
+  check_int "pop back" 2 (Dq.pop_back d);
+  check_int "pop last" 1 (Dq.pop_front d);
+  Alcotest.check_raises "empty pop" Not_found (fun () ->
+      ignore (Dq.pop_front d))
+
+let deque_wraparound () =
+  (* Force the head to travel around the ring several times. *)
+  let d = Dq.create () in
+  for i = 0 to 4 do
+    Dq.push_back d i
+  done;
+  for round = 0 to 99 do
+    let x = Dq.pop_front d in
+    Dq.push_back d (x + 1000);
+    if round mod 7 = 0 then begin
+      Dq.push_front d (-round);
+      ignore (Dq.pop_back d)
+    end
+  done;
+  check_int "stable size" 5 (Dq.length d);
+  check_int "iter count" 5
+    (let n = ref 0 in
+     Dq.iter (fun _ -> incr n) d;
+     !n)
+
+(* Model check against two stdlib lists (front/back). *)
+let prop_deque_model =
+  QCheck.Test.make ~name:"deque behaves like a functional sequence" ~count:300
+    QCheck.(list (pair (int_range 0 3) small_int))
+    (fun ops ->
+      let d = Dq.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+              Dq.push_back d v;
+              model := !model @ [ v ]
+          | 1 ->
+              Dq.push_front d v;
+              model := v :: !model
+          | 2 -> (
+              match !model with
+              | [] -> (
+                  try
+                    ignore (Dq.pop_front d);
+                    ok := false
+                  with Not_found -> ())
+              | x :: rest ->
+                  model := rest;
+                  if Dq.pop_front d <> x then ok := false)
+          | _ -> (
+              match List.rev !model with
+              | [] -> (
+                  try
+                    ignore (Dq.pop_back d);
+                    ok := false
+                  with Not_found -> ())
+              | x :: rest ->
+                  model := List.rev rest;
+                  if Dq.pop_back d <> x then ok := false))
+        ops;
+      !ok && Dq.to_list d = !model)
+
+(* ------------------------------------------------------------------ *)
+(* Binheap                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let heap_order () =
+  let h = Heap.create () in
+  Heap.add h ~key:3 ~tie:0 "c";
+  Heap.add h ~key:1 ~tie:0 "a";
+  Heap.add h ~key:2 ~tie:0 "b";
+  check_string "min" "a" (Heap.min_elt h);
+  check_string "pop1" "a" (Heap.pop_min h);
+  check_string "pop2" "b" (Heap.pop_min h);
+  check_string "pop3" "c" (Heap.pop_min h);
+  Alcotest.check_raises "empty pop" Not_found (fun () ->
+      ignore (Heap.pop_min h))
+
+let heap_tie_stability () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.add h ~key:7 ~tie:i i
+  done;
+  let popped = List.init 10 (fun _ -> Heap.pop_min h) in
+  check_bool "ties pop in insertion order" true
+    (popped = List.init 10 Fun.id)
+
+let prop_heap_sorted_view =
+  QCheck.Test.make ~name:"to_sorted_list equals drain order" ~count:200
+    QCheck.(list small_int)
+    (fun ks ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.add h ~key:k ~tie:i (k, i)) ks;
+      let view = Heap.to_sorted_list h in
+      let popped = List.init (List.length ks) (fun _ -> Heap.pop_min h) in
+      view = popped)
+
+let prop_heap_matches_sort =
+  QCheck.Test.make ~name:"heap order equals stable sort by key" ~count:200
+    QCheck.(list small_int)
+    (fun ks ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.add h ~key:k ~tie:i (k, i)) ks;
+      let popped = List.init (List.length ks) (fun _ -> Heap.pop_min h) in
+      let expected =
+        List.stable_sort compare (List.mapi (fun i k -> (k, i)) ks)
+      in
+      popped = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Histo                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Histo = Aqt_util.Histo
+
+let histo_basics () =
+  let h = Histo.create () in
+  check_int "empty count" 0 (Histo.count h);
+  check_int "empty percentile" 0 (Histo.percentile h 0.5);
+  List.iter (Histo.record h) [ 0; 1; 1; 3; 6; 100 ];
+  check_int "count" 6 (Histo.count h);
+  check_int "max" 100 (Histo.max_value h);
+  check_int "p100 = max" 100 (Histo.percentile h 1.0);
+  (* p50: third sample in sorted order is 1. *)
+  check_int "p50 upper bound" 1 (Histo.percentile h 0.5);
+  check_int "buckets" 5 (List.length (Histo.buckets h));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Histo.record: negative value") (fun () ->
+      Histo.record h (-1))
+
+let prop_histo_percentile_upper_bound =
+  QCheck.Test.make ~name:"percentile upper-bounds the exact quantile"
+    ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (int_range 0 500))
+              (int_range 0 100))
+    (fun (xs, pi) ->
+      let p = float_of_int pi /. 100.0 in
+      let h = Histo.create () in
+      List.iter (Histo.record h) xs;
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let idx = max 0 (int_of_float (Float.ceil (p *. float_of_int n)) - 1) in
+      let exact = List.nth sorted idx in
+      let est = Histo.percentile h p in
+      est >= exact && est <= Histo.max_value h)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1000) in
+  check_bool "same seed same stream" true (xs = ys);
+  let c = Prng.create 43 in
+  let zs = List.init 20 (fun _ -> Prng.int c 1000) in
+  check_bool "different seed different stream" false (xs = zs)
+
+let prng_bounds () =
+  let p = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "nonpositive bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int p 0))
+
+let prng_bernoulli_mean () =
+  let p = Prng.create 11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli p ~num:3 ~den:10 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int n in
+  check_bool "mean near 0.3" true (abs_float (mean -. 0.3) < 0.02)
+
+let prng_shuffle_permutes () =
+  let p = Prng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "permutation" true (sorted = Array.init 50 Fun.id)
+
+let prng_split_independent () =
+  let p = Prng.create 9 in
+  let q = Prng.split p in
+  let xs = List.init 10 (fun _ -> Prng.int p 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int q 1000) in
+  check_bool "split streams differ" false (xs = ys)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Par = Aqt_util.Parallel
+
+let parallel_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  check_bool "2 workers" true (Par.map ~workers:2 f xs = List.map f xs);
+  check_bool "5 workers" true (Par.map ~workers:5 f xs = List.map f xs);
+  check_bool "1 worker" true (Par.map ~workers:1 f xs = List.map f xs);
+  check_bool "empty" true (Par.map ~workers:3 f [] = []);
+  check_bool "singleton" true (Par.map ~workers:3 f [ 7 ] = [ 50 ])
+
+let parallel_propagates_exceptions () =
+  Alcotest.check_raises "first failure re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Par.map ~workers:3
+           (fun x -> if x = 42 then failwith "boom" else x)
+           (List.init 100 Fun.id)))
+
+let parallel_rejects_bad_workers () =
+  Alcotest.check_raises "workers >= 1"
+    (Invalid_argument "Parallel.map: workers must be >= 1") (fun () ->
+      ignore (Par.map ~workers:0 Fun.id [ 1 ]))
+
+(* Independent simulations give identical results under domains. *)
+let parallel_simulations_deterministic () =
+  let run seed =
+    let prng = Prng.create seed in
+    let total = ref 0 in
+    for _ = 1 to 1000 do
+      total := !total + Prng.int prng 100
+    done;
+    !total
+  in
+  let seeds = List.init 8 Fun.id in
+  check_bool "domain isolation" true
+    (Par.map ~workers:4 run seeds = List.map run seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Tbl / Csv / Ascii_plot                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tbl_render () =
+  let t = Tbl.create ~headers:[ "name"; "value" ] in
+  Tbl.add_row t [ "alpha"; "1" ];
+  Tbl.add_row t [ "b"; "22" ];
+  let out = Tbl.render t in
+  check_bool "mentions header" true
+    (String.length out > 0
+    && String.sub out 0 4 = "name");
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Tbl.add_row: expected 2 cells, got 1") (fun () ->
+      Tbl.add_row t [ "only" ])
+
+let tbl_format_helpers () =
+  check_string "fi" "42" (Tbl.fi 42);
+  check_string "ff" "3.142" (Tbl.ff 3.14159);
+  check_string "ff dec" "3.1" (Tbl.ff ~dec:1 3.14159);
+  check_string "fb" "yes" (Tbl.fb true);
+  check_string "fr" "1/2" (Tbl.fr Ratio.half)
+
+let csv_quoting () =
+  let buf = Buffer.create 64 in
+  let c = Aqt_util.Csv_out.to_buffer buf in
+  Aqt_util.Csv_out.write_row c [ "plain"; "with,comma"; "with\"quote" ];
+  check_string "rfc4180" "plain,\"with,comma\",\"with\"\"quote\"\n"
+    (Buffer.contents buf)
+
+let ascii_plot_smoke () =
+  let plot = Aqt_util.Ascii_plot.create ~title:"t" () in
+  Aqt_util.Ascii_plot.add_series plot ~glyph:'*'
+    (Array.init 10 (fun i -> (float_of_int i, float_of_int (i * i))));
+  let s = Aqt_util.Ascii_plot.render plot in
+  check_bool "nonempty" true (String.length s > 100);
+  check_bool "contains glyph" true (String.contains s '*')
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "aqt_util"
+    [
+      ( "ratio",
+        [
+          Alcotest.test_case "normalization" `Quick ratio_normalization;
+          Alcotest.test_case "zero denominator" `Quick ratio_zero_den;
+          Alcotest.test_case "arithmetic" `Quick ratio_arith;
+          Alcotest.test_case "division by zero" `Quick ratio_div_by_zero;
+          Alcotest.test_case "floor/ceil" `Quick ratio_floor_ceil;
+          Alcotest.test_case "comparisons" `Quick ratio_compare;
+          Alcotest.test_case "of_float_approx" `Quick ratio_of_float;
+          Alcotest.test_case "to_string" `Quick ratio_to_string;
+          q prop_ratio_add_commutes;
+          q prop_ratio_mul_assoc;
+          q prop_ratio_floor_mul;
+          q prop_ratio_floor_ceil_adjacent;
+        ] );
+      ( "dynarray",
+        [
+          Alcotest.test_case "basics" `Quick dyn_basics;
+          Alcotest.test_case "swap_remove" `Quick dyn_swap_remove;
+          Alcotest.test_case "iterators" `Quick dyn_iter_fold;
+          q prop_dyn_model;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "basics" `Quick deque_basics;
+          Alcotest.test_case "wraparound" `Quick deque_wraparound;
+          q prop_deque_model;
+        ] );
+      ( "binheap",
+        [
+          Alcotest.test_case "order" `Quick heap_order;
+          Alcotest.test_case "tie stability" `Quick heap_tie_stability;
+          q prop_heap_sorted_view;
+          q prop_heap_matches_sort;
+        ] );
+      ( "histo",
+        [
+          Alcotest.test_case "basics" `Quick histo_basics;
+          q prop_histo_percentile_upper_bound;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick prng_deterministic;
+          Alcotest.test_case "bounds" `Quick prng_bounds;
+          Alcotest.test_case "bernoulli mean" `Quick prng_bernoulli_mean;
+          Alcotest.test_case "shuffle permutes" `Quick prng_shuffle_permutes;
+          Alcotest.test_case "split independence" `Quick prng_split_independent;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            parallel_matches_sequential;
+          Alcotest.test_case "exception propagation" `Quick
+            parallel_propagates_exceptions;
+          Alcotest.test_case "bad workers" `Quick parallel_rejects_bad_workers;
+          Alcotest.test_case "simulation isolation" `Quick
+            parallel_simulations_deterministic;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "table render" `Quick tbl_render;
+          Alcotest.test_case "format helpers" `Quick tbl_format_helpers;
+          Alcotest.test_case "csv quoting" `Quick csv_quoting;
+          Alcotest.test_case "ascii plot" `Quick ascii_plot_smoke;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Tests for the workload scenario library and the space-time recorder. *)
+
+module W = Aqt_workload.Workloads
+module D = Aqt_graph.Digraph
+module N = Aqt_engine.Network
+module Sim = Aqt_engine.Sim
+module Policies = Aqt_policy.Policies
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_scenarios_valid () =
+  List.iter
+    (fun (s : W.t) ->
+      if not (W.validate s) then Alcotest.failf "invalid scenario %s" s.name)
+    (W.standard_grid ())
+
+let line_full () =
+  let s = W.line_full ~hops:6 in
+  check_int "one route" 1 (List.length s.routes);
+  check_int "d" 6 s.d;
+  check_int "overlap" 1 (W.max_overlap s)
+
+let line_suffixes () =
+  let s = W.line_suffixes ~hops:5 in
+  check_int "routes" 5 (List.length s.routes);
+  check_int "d" 5 s.d;
+  (* Every suffix route uses the last edge. *)
+  check_int "hot edge overlap" 5 (W.max_overlap s)
+
+let line_windows () =
+  let s = W.line_windows ~hops:8 ~d:3 in
+  check_int "routes" 6 (List.length s.routes);
+  check_int "d" 3 s.d;
+  check_int "middle overlap" 3 (W.max_overlap s);
+  Alcotest.check_raises "d > hops"
+    (Invalid_argument "Workloads.line_windows: d > hops") (fun () ->
+      ignore (W.line_windows ~hops:2 ~d:3))
+
+let ring_wrap () =
+  let s = W.ring_wrap ~nodes:10 ~d:4 in
+  check_int "routes" 10 (List.length s.routes);
+  check_int "every edge carries d routes" 4 (W.max_overlap s)
+
+let parallel_spread () =
+  let s = W.parallel_spread ~branches:3 ~hops:4 in
+  check_int "routes" 3 (List.length s.routes);
+  check_int "edge-disjoint" 1 (W.max_overlap s)
+
+let tree_to_root () =
+  let s = W.tree_to_root ~depth:3 in
+  check_int "one route per leaf" 8 (List.length s.routes);
+  check_int "d = depth" 3 s.d;
+  (* All routes converge on the root's two in-edges: overlap 4 on each. *)
+  check_int "root-side overlap" 4 (W.max_overlap s)
+
+let random_simple () =
+  let prng = Aqt_util.Prng.create 31 in
+  let s = W.random_simple ~prng ~nodes:20 ~n_routes:15 in
+  check_bool "valid" true (W.validate s);
+  check_bool "nonempty" true (s.routes <> [])
+
+(* Space-time recorder: samples have the right shape and the renderer shows
+   occupied edges. *)
+let spacetime_records () =
+  let s = W.line_full ~hops:3 in
+  let net = N.create ~graph:s.graph ~policy:Policies.fifo () in
+  let st = Aqt_engine.Spacetime.make net in
+  let driver =
+    Aqt_engine.Spacetime.driver_wrap st
+      (Sim.injections_only (fun _ t ->
+           if t <= 5 then
+             [ ({ route = List.hd s.routes; tag = "x" } : N.injection) ]
+           else []))
+  in
+  let _ = Sim.run ~net ~driver ~horizon:12 () in
+  let out = Aqt_engine.Spacetime.render st in
+  check_bool "mentions peak" true
+    (String.length out > 0 && String.sub out 0 5 = "queue");
+  (* Three edge rows plus the title line. *)
+  check_int "rows" 4 (List.length (String.split_on_char '\n' (String.trim out)))
+
+let spacetime_downsamples () =
+  let s = W.line_full ~hops:2 in
+  let net = N.create ~graph:s.graph ~policy:Policies.fifo () in
+  let st = Aqt_engine.Spacetime.make net in
+  for _ = 1 to 500 do
+    N.step net [];
+    Aqt_engine.Spacetime.observe st
+  done;
+  let out = Aqt_engine.Spacetime.render st in
+  (* Two edge rows, each clipped to <= 100 sample columns + label + bars. *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 && String.contains line '|' then
+        check_bool "row width bounded" true (String.length line < 120))
+    (String.split_on_char '\n' out)
+
+let () =
+  Alcotest.run "aqt_workload"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "standard grid valid" `Quick all_scenarios_valid;
+          Alcotest.test_case "line full" `Quick line_full;
+          Alcotest.test_case "line suffixes" `Quick line_suffixes;
+          Alcotest.test_case "line windows" `Quick line_windows;
+          Alcotest.test_case "ring wrap" `Quick ring_wrap;
+          Alcotest.test_case "parallel spread" `Quick parallel_spread;
+          Alcotest.test_case "tree to root" `Quick tree_to_root;
+          Alcotest.test_case "random simple" `Quick random_simple;
+        ] );
+      ( "spacetime",
+        [
+          Alcotest.test_case "records and renders" `Quick spacetime_records;
+          Alcotest.test_case "downsampling" `Quick spacetime_downsamples;
+        ] );
+    ]
