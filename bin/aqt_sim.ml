@@ -600,6 +600,137 @@ let spacetime_cmd =
        ~doc:"Heat map of a startup+pump run on a two-gadget chain")
     Term.(const run $ eps_arg $ seeds)
 
+(* ------------------------------------------------------------------ *)
+(* campaign: cached, journalled orchestration of the experiment suite  *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let module Campaign = Aqt_harness.Campaign in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string Campaign.default_options.dir
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Campaign state directory.")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:"Comma-separated experiment ids (default: every registered \
+                experiment; see `main.exe list`).")
+  in
+  let registry () = Aqt_experiments.registry () in
+  let run_cmd =
+    let force =
+      Arg.(
+        value & flag
+        & info [ "force" ] ~doc:"Re-run even when a cached result exists.")
+    in
+    let jobs =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "jobs"; "j" ] ~docv:"N"
+            ~doc:"Worker domains (default: cores - 1).")
+    in
+    let timeout =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "timeout" ] ~docv:"SECONDS"
+            ~doc:"Per-experiment wall-clock budget.  Cooperative: an \
+                  overrunning experiment finishes its run but is reported \
+                  timed-out and its result is not cached.")
+    in
+    let retries =
+      Arg.(
+        value
+        & opt int Campaign.default_options.retries
+        & info [ "retries" ] ~docv:"N"
+            ~doc:"Re-attempts after a crashed experiment.")
+    in
+    let fail =
+      Arg.(
+        value
+        & opt (list string) []
+        & info [ "fail" ] ~docv:"IDS"
+            ~doc:"Force these experiments to raise (graceful-degradation \
+                  check: they report Failed while the campaign completes).")
+    in
+    let quiet =
+      Arg.(
+        value & flag
+        & info [ "quiet"; "q" ] ~doc:"No progress lines or summary table.")
+    in
+    let run dir only force jobs timeout retries fail quiet =
+      (match jobs with
+      | Some j when j < 1 ->
+          Printf.eprintf "aqt_sim campaign: --jobs must be >= 1\n";
+          exit 2
+      | _ -> ());
+      let options =
+        {
+          Campaign.default_options with
+          dir;
+          only;
+          force;
+          jobs;
+          timeout;
+          retries;
+          fail;
+          quiet;
+        }
+      in
+      match Campaign.run ~registry:(registry ()) options with
+      | { Campaign.failed = 0; _ } -> ()
+      | _ -> exit 1
+      | exception Failure msg ->
+          Printf.eprintf "aqt_sim campaign: %s\n" msg;
+          exit 2
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run experiments through the campaign scheduler: cached results \
+            are served from $(b,DIR)/cache, the rest fan out across domains, \
+            and every event lands in a JSONL journal under $(b,DIR)/journal.")
+      Term.(
+        const run $ dir_arg $ only_arg $ force $ jobs $ timeout $ retries
+        $ fail $ quiet)
+  in
+  let status_cmd =
+    let run dir only =
+      let options = { Campaign.default_options with dir; only } in
+      match Campaign.status ~registry:(registry ()) options with
+      | () -> ()
+      | exception Failure msg ->
+          Printf.eprintf "aqt_sim campaign: %s\n" msg;
+          exit 2
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Per experiment: is a cached result present for the current spec \
+            and code salt, how old is it, and how long did it take.")
+      Term.(const run $ dir_arg $ only_arg)
+  in
+  let clean_cmd =
+    let run dir =
+      let n = Campaign.clean { Campaign.default_options with dir } in
+      Printf.printf "removed %d file(s) under %s\n" n dir
+    in
+    Cmd.v
+      (Cmd.info "clean" ~doc:"Delete cached results and journals under DIR.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Manifest-driven experiment campaigns with result caching, \
+          crash-tolerant scheduling and structured run journals")
+    [ run_cmd; status_cmd; clean_cmd ]
+
 let () =
   let doc = "adversarial queuing theory simulator (Lotker-Patt-Shamir-Rosen)" in
   let info = Cmd.info "aqt_sim" ~version:"1.0.0" ~doc in
@@ -609,5 +740,5 @@ let () =
           [
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
-            spacetime_cmd;
+            spacetime_cmd; campaign_cmd;
           ]))

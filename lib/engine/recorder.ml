@@ -29,6 +29,19 @@ let observe r net =
 let samples r = Dyn.to_array r.store
 let length r = Dyn.length r.store
 
+let to_rows r =
+  Array.to_list
+    (Array.map
+       (fun s ->
+         [
+           ("t", float_of_int s.t);
+           ("in_flight", float_of_int s.in_flight);
+           ("max_queue", float_of_int s.cur_max_queue);
+           ("absorbed", float_of_int s.absorbed);
+           ("max_dwell", float_of_int s.max_dwell);
+         ])
+       (samples r))
+
 let points r f =
   Array.map (fun s -> (float_of_int s.t, f s)) (samples r)
 

@@ -22,6 +22,13 @@ val observe : t -> Network.t -> unit
 val samples : t -> sample array
 val length : t -> int
 
+val to_rows : t -> (string * float) list list
+(** One labelled row per sample, in time order — the keys are [t],
+    [in_flight], [max_queue], [absorbed], [max_dwell].  This is the
+    exchange format for embedding sampled trajectories in campaign
+    journals and cached results without ad-hoc formatting at the call
+    site. *)
+
 val points : t -> (sample -> float) -> (float * float) array
 (** [(t, f sample)] pairs, for plotting. *)
 

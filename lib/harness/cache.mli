@@ -1,0 +1,39 @@
+(** Content-addressed result cache.
+
+    Results persist as one JSON file per scenario under a cache directory
+    (by default [_campaign/cache/<key>.json]).  The key is
+    [Spec.hash ~salt ~name spec]: changing any experiment parameter, the
+    experiment name, or the campaign-wide code salt changes the key, so a
+    stale file is simply never looked up again — [clean] exists for
+    hygiene, not correctness.  Corrupt or unreadable files count as
+    misses.  Writes go through a temp file and [Sys.rename], so concurrent
+    writers (scheduler domains) can never publish a torn file. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and its parent) on demand. *)
+
+val dir : t -> string
+
+type cached = {
+  key : string;
+  name : string;
+  saved_at : float;  (** Unix time of the store. *)
+  duration : float;  (** Wall-clock seconds of the original run. *)
+  result : Registry.result;
+}
+
+val key : ?salt:string -> Registry.entry -> string
+
+val lookup : t -> key:string -> cached option
+
+val store :
+  t -> key:string -> name:string -> spec:Spec.t -> duration:float ->
+  Registry.result -> unit
+
+val entries : t -> cached list
+(** Every parseable cache file, unordered. *)
+
+val clean : t -> int
+(** Delete all cache files; returns how many were removed. *)

@@ -1,0 +1,58 @@
+(** Structured run journal: one JSON object per line (JSONL).
+
+    Every campaign run appends machine-readable events — task start,
+    finish (with outcome, wall-clock duration, peak queue when the
+    experiment reports one, and an optional sampled trajectory), retries,
+    cache hits, and campaign start/end markers — to a journal file.  The
+    writer is mutex-protected so scheduler domains can log concurrently;
+    each event is flushed as a whole line, so a crashed campaign leaves a
+    readable prefix.  [load] parses a journal back for tooling and tests. *)
+
+type outcome =
+  | Done  (** Ran and produced a result. *)
+  | Cached  (** Result served from the content-addressed cache. *)
+  | Failed of string  (** Raised after all retries; message attached. *)
+  | Timed_out  (** Exceeded the per-task wall-clock budget. *)
+
+val outcome_to_string : outcome -> string
+
+type event =
+  | Campaign_start of { at : float; names : string list }
+  | Task_start of { name : string; at : float; attempt : int }
+  | Task_retry of { name : string; attempt : int; error : string }
+  | Task_finish of {
+      name : string;
+      at : float;
+      outcome : outcome;
+      duration : float;
+      max_queue : float option;
+      trajectory : (string * float) list list;
+    }
+  | Campaign_end of {
+      at : float;
+      ran : int;
+      cached : int;
+      failed : int;
+      duration : float;
+    }
+
+val event_to_json : event -> Jsonx.t
+val event_of_json : Jsonx.t -> event  (** @raise Failure on mismatch. *)
+
+(** {2 Writer} *)
+
+type writer
+
+val create : string -> writer
+(** Open [file] for append, creating parent directories as needed. *)
+
+val write : writer -> event -> unit
+(** Thread-safe; flushes the line. *)
+
+val file : writer -> string
+val close : writer -> unit
+
+(** {2 Reader} *)
+
+val load : string -> event list
+(** @raise Failure on an unparseable line (blank lines are skipped). *)

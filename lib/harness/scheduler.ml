@@ -1,0 +1,131 @@
+type task_result = {
+  name : string;
+  outcome : Journal.outcome;
+  duration : float;
+  attempts : int;
+  result : Registry.result option;
+}
+
+let now () = Unix.gettimeofday ()
+
+let finish_event journal name outcome duration (result : Registry.result option)
+    =
+  let max_queue =
+    match result with
+    | None -> None
+    | Some r -> List.assoc_opt "max_queue" r.metrics
+  in
+  let trajectory =
+    match result with None -> [] | Some r -> r.trajectory
+  in
+  Journal.write journal
+    (Journal.Task_finish
+       { name; at = now (); outcome; duration; max_queue; trajectory })
+
+let run_one ?timeout ~retries ~salt ~fail ~cache ~journal
+    (entry : Registry.entry) =
+  let name = entry.name in
+  let key = Cache.key ?salt entry in
+  let forced_failure () =
+    if List.mem name fail then
+      failwith (Printf.sprintf "forced failure of %s (--fail)" name)
+  in
+  let rec attempt k =
+    Journal.write journal
+      (Journal.Task_start { name; at = now (); attempt = k });
+    let t0 = now () in
+    match
+      forced_failure ();
+      entry.run ()
+    with
+    | result ->
+        let duration = now () -. t0 in
+        let timed_out =
+          match timeout with Some t -> duration > t | None -> false
+        in
+        if timed_out then begin
+          finish_event journal name Journal.Timed_out duration None;
+          {
+            name;
+            outcome = Journal.Timed_out;
+            duration;
+            attempts = k;
+            result = None;
+          }
+        end
+        else begin
+          Cache.store cache ~key ~name ~spec:entry.spec ~duration result;
+          finish_event journal name Journal.Done duration (Some result);
+          {
+            name;
+            outcome = Journal.Done;
+            duration;
+            attempts = k;
+            result = Some result;
+          }
+        end
+    | exception e ->
+        let duration = now () -. t0 in
+        let error = Printexc.to_string e in
+        if k <= retries then begin
+          Journal.write journal
+            (Journal.Task_retry { name; attempt = k; error });
+          attempt (k + 1)
+        end
+        else begin
+          finish_event journal name (Journal.Failed error) duration None;
+          {
+            name;
+            outcome = Journal.Failed error;
+            duration;
+            attempts = k;
+            result = None;
+          }
+        end
+  in
+  attempt 1
+
+let run ?jobs ?timeout ?(retries = 1) ?salt ?(force = false) ?(fail = [])
+    ?on_done ~cache ~journal entries =
+  (* Resolve cache hits inline first: they cost a file read, not a domain. *)
+  let resolved =
+    List.map
+      (fun (entry : Registry.entry) ->
+        let hit =
+          if force || List.mem entry.name fail then None
+          else Cache.lookup cache ~key:(Cache.key ?salt entry)
+        in
+        match hit with
+        | Some c ->
+            finish_event journal entry.name Journal.Cached c.duration
+              (Some c.result);
+            ( entry,
+              Some
+                {
+                  name = entry.name;
+                  outcome = Journal.Cached;
+                  duration = c.duration;
+                  attempts = 0;
+                  result = Some c.result;
+                } )
+        | None -> (entry, None))
+      entries
+  in
+  let to_run =
+    List.filter_map
+      (function entry, None -> Some entry | _, Some _ -> None)
+      resolved
+  in
+  let ran =
+    Aqt_util.Parallel.map ?workers:jobs ?on_done
+      (run_one ?timeout ~retries ~salt ~fail ~cache ~journal)
+      to_run
+  in
+  let by_name = Hashtbl.create 17 in
+  List.iter (fun (r : task_result) -> Hashtbl.replace by_name r.name r) ran;
+  List.map
+    (fun ((entry : Registry.entry), hit) ->
+      match hit with
+      | Some r -> r
+      | None -> Hashtbl.find by_name entry.name)
+    resolved

@@ -1,0 +1,42 @@
+(** Fan experiments across domains with caching, retry, and degradation.
+
+    Cache hits are resolved inline (no domain, no simulation); the
+    remaining tasks run via [Aqt_util.Parallel.map].  A task that raises
+    is retried up to [retries] extra times and then reported as [Failed]
+    — one crashing experiment never aborts the campaign.  Timeouts are
+    wall-clock and *cooperative*: a domain cannot be killed mid-OCaml
+    code, so a task that overruns its budget is allowed to finish but is
+    reported as [Timed_out] and its result is not cached (a later run,
+    e.g. with a larger budget, will re-execute it). *)
+
+type task_result = {
+  name : string;
+  outcome : Journal.outcome;
+  duration : float;  (** Seconds; for cache hits, the original run's. *)
+  attempts : int;  (** 0 for cache hits. *)
+  result : Registry.result option;  (** [None] iff failed or timed out. *)
+}
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?salt:string ->
+  ?force:bool ->
+  ?fail:string list ->
+  ?on_done:(int -> unit) ->
+  cache:Cache.t ->
+  journal:Journal.writer ->
+  Registry.entry list ->
+  task_result list
+(** Results are returned in the order of the input entries.
+
+    [jobs] is the number of worker domains (default [Parallel.map]'s);
+    [timeout] the per-task wall-clock budget in seconds (default none);
+    [retries] the extra attempts after a raise (default 1); [salt] the
+    cache salt (see {!Spec.hash}); [force] skips cache lookups (results
+    are still stored); [fail] names scenarios forced to raise, which
+    exercises the degradation path end-to-end (used by
+    [campaign run --fail] and the test suite); [on_done] is a progress
+    callback invoked with the completed count (1-based) after each
+    non-cached task, possibly from a worker domain. *)

@@ -1,0 +1,32 @@
+(** Deterministic scenario specifications.
+
+    A spec is the complete parameter record of an experiment: every input
+    that can change its output (rates, seed sizes, horizons, policy lists)
+    plus a version counter bumped when the experiment code itself changes.
+    Specs have a canonical encoding that is independent of field order, and
+    a content hash over [name + salt + canonical spec] that keys the result
+    cache: same hash, same experiment, reusable result. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Ratio of int * int  (** kept exact, not collapsed to float *)
+  | Str of string
+  | List of value list
+
+type t = (string * value) list
+
+val canonical : t -> string
+(** Stable text encoding: fields sorted by key, values length-prefixed so
+    no two distinct specs share an encoding.
+    @raise Invalid_argument on duplicate keys. *)
+
+val hash : ?salt:string -> name:string -> t -> string
+(** Hex digest of the scenario identity ([salt] defaults to [""]).  This is
+    the cache key: any change to the name, the salt, or any field value
+    produces a different key. *)
+
+val to_json : t -> Jsonx.t
+(** For embedding in cache files / journal events (informational; the
+    canonical encoding, not this JSON, is what gets hashed). *)

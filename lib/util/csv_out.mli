@@ -7,6 +7,12 @@
 
 type t
 
+val quote : string -> string
+(** RFC-4180 escaping of a single field: returned verbatim unless it
+    contains a comma, double quote, CR or LF, in which case it is wrapped
+    in double quotes with embedded quotes doubled.  Exposed so other
+    emitters (e.g. campaign summaries) quote identically. *)
+
 val to_channel : out_channel -> t
 val to_buffer : Buffer.t -> t
 val write_row : t -> string list -> unit

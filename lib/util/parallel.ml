@@ -1,6 +1,6 @@
 type 'b outcome = Value of 'b | Failed of exn
 
-let map ?workers f xs =
+let map ?workers ?(chunk = 1) ?on_done f xs =
   let n = List.length xs in
   let workers =
     match workers with
@@ -8,18 +8,33 @@ let map ?workers f xs =
     | Some _ -> invalid_arg "Parallel.map: workers must be >= 1"
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
+  if chunk < 1 then invalid_arg "Parallel.map: chunk must be >= 1";
+  let progress =
+    match on_done with Some g -> g | None -> fun _ -> ()
+  in
   if n = 0 then []
-  else if workers = 1 || n = 1 then List.map f xs
+  else if workers = 1 || n = 1 then
+    List.mapi
+      (fun i x ->
+        let r = f x in
+        progress (i + 1);
+        r)
+      xs
   else begin
     let tasks = Array.of_list xs in
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
     let worker () =
       let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r = try Value (f tasks.(i)) with e -> Failed e in
-          results.(i) <- Some r;
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            let r = try Value (f tasks.(i)) with e -> Failed e in
+            results.(i) <- Some r;
+            progress (1 + Atomic.fetch_and_add completed 1)
+          done;
           go ()
         end
       in

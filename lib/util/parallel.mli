@@ -7,8 +7,22 @@
     by construction. *)
 
 val map :
-  ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+  ?workers:int ->
+  ?chunk:int ->
+  ?on_done:(int -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map ~workers f xs] applies [f] to every element, preserving order.
     [workers] defaults to [Domain.recommended_domain_count - 1], at least 1;
     with one worker it degrades to [List.map].  Exceptions raised by [f] are
-    re-raised in the caller (the first one encountered in input order). *)
+    re-raised in the caller (the first one encountered in input order).
+
+    [chunk] (default 1) makes each idle worker claim that many consecutive
+    tasks at a time: larger chunks amortize contention on the shared task
+    counter when tasks are tiny, at the cost of coarser load balancing.
+
+    [on_done] is called with the total number of completed tasks (1-based,
+    each value exactly once) after each task finishes; long grids use it to
+    report progress.  It may be invoked concurrently from worker domains,
+    so it must be safe to call from any domain. *)

@@ -1,0 +1,443 @@
+(* Campaign harness: JSON round-trips, spec hashing, the content-addressed
+   cache, the crash-tolerant scheduler, and the JSONL journal. *)
+
+module Jsonx = Aqt_harness.Jsonx
+module Spec = Aqt_harness.Spec
+module Registry = Aqt_harness.Registry
+module Rb = Aqt_harness.Registry.Rb
+module Cache = Aqt_harness.Cache
+module Journal = Aqt_harness.Journal
+module Scheduler = Aqt_harness.Scheduler
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "aqt_harness_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (* Fresh per test; the harness creates it on demand. *)
+    d
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip v = Jsonx.of_string (Jsonx.to_string v)
+
+let jsonx_roundtrip () =
+  let v =
+    Jsonx.Obj
+      [
+        ("null", Jsonx.Null);
+        ("bools", Jsonx.List [ Jsonx.Bool true; Jsonx.Bool false ]);
+        ("int", Jsonx.Int (-42));
+        ("float", Jsonx.Float 3.25);
+        ("big", Jsonx.Float 1.2345678901234567e300);
+        ("str", Jsonx.Str "line\nbreak \"quoted\" back\\slash \t tab");
+        ("empty_obj", Jsonx.Obj []);
+        ("empty_list", Jsonx.List []);
+        ("nested", Jsonx.List [ Jsonx.Obj [ ("k", Jsonx.Int 1) ] ]);
+      ]
+  in
+  check_bool "structural equality" true (roundtrip v = v);
+  check_bool "idempotent render" true
+    (Jsonx.to_string v = Jsonx.to_string (roundtrip v))
+
+let jsonx_parses_escapes () =
+  check_bool "unicode escape" true
+    (Jsonx.of_string {|"éA"|} = Jsonx.Str "\xc3\xa9A");
+  check_bool "whitespace tolerated" true
+    (Jsonx.of_string " { \"a\" : [ 1 , 2 ] } "
+    = Jsonx.Obj [ ("a", Jsonx.List [ Jsonx.Int 1; Jsonx.Int 2 ]) ]);
+  check_bool "nan serializes as null" true
+    (Jsonx.to_string (Jsonx.Float Float.nan) = "null")
+
+let jsonx_rejects_garbage () =
+  let bad s =
+    match Jsonx.of_string s with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  check_bool "trailing garbage" true (bad "1 2");
+  check_bool "unterminated string" true (bad {|"abc|});
+  check_bool "bare word" true (bad "frue");
+  check_bool "unclosed object" true (bad {|{"a": 1|})
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let spec_a : Spec.t =
+  [
+    ("eps", Spec.Ratio (1, 5));
+    ("s0", Spec.Int 400);
+    ("tags", Spec.List [ Spec.Str "x"; Spec.Str "y" ]);
+    ("scale", Spec.Float 1.5);
+    ("on", Spec.Bool true);
+  ]
+
+let spec_hash_deterministic () =
+  let h1 = Spec.hash ~name:"e1" spec_a in
+  let h2 = Spec.hash ~name:"e1" (List.rev spec_a) in
+  check_string "field order irrelevant" h1 h2;
+  check_int "hex digest length" 32 (String.length h1)
+
+let spec_hash_sensitivity () =
+  let h = Spec.hash ~name:"e1" spec_a in
+  let bump v = Spec.hash ~name:"e1" (("s0", v) :: List.remove_assoc "s0" spec_a) in
+  check_bool "value change" true (bump (Spec.Int 401) <> h);
+  check_bool "type change" true (bump (Spec.Str "400") <> h);
+  check_bool "name change" true (Spec.hash ~name:"e2" spec_a <> h);
+  check_bool "salt change" true (Spec.hash ~salt:"v2" ~name:"e1" spec_a <> h)
+
+let spec_rejects_duplicates () =
+  check_bool "duplicate key" true
+    (match Spec.canonical [ ("a", Spec.Int 1); ("a", Spec.Int 2) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Registry + result serialization                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample_result () =
+  let rb = Rb.create () in
+  Rb.note rb "before\n";
+  Rb.table rb ~id:"t1" ~headers:[ "a"; "b" ]
+    [ [ "1"; "x" ]; [ "2"; "y,z" ] ];
+  Rb.note rb "after";
+  Rb.metric rb "max_queue" 17.0;
+  Rb.trajectory rb
+    [ [ ("t", 0.); ("q", 1.) ]; [ ("t", 500.); ("q", 9.) ] ];
+  Rb.result rb
+
+let result_json_roundtrip () =
+  let r = sample_result () in
+  let r' = Registry.result_of_json (Registry.result_to_json r) in
+  check_bool "items" true (r'.Registry.items = r.Registry.items);
+  check_bool "metrics" true (r'.Registry.metrics = r.Registry.metrics);
+  check_bool "trajectory" true (r'.Registry.trajectory = r.Registry.trajectory)
+
+let dummy_entry ?(spec = spec_a) ?(run = fun () -> sample_result ()) name =
+  { Registry.name; title = name; tags = []; spec; run }
+
+let registry_basics () =
+  let reg = Registry.create () in
+  Registry.register reg (dummy_entry "b");
+  Registry.register reg (dummy_entry "a");
+  check_bool "registration order" true (Registry.names reg = [ "b"; "a" ]);
+  check_bool "find hit" true (Registry.find reg "a" <> None);
+  check_bool "find miss" true (Registry.find reg "zz" = None);
+  check_bool "duplicate rejected" true
+    (match Registry.register reg (dummy_entry "a") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_roundtrip () =
+  let cache = Cache.create ~dir:(temp_dir ()) in
+  let entry = dummy_entry "e1" in
+  let key = Cache.key entry in
+  check_bool "cold miss" true (Cache.lookup cache ~key = None);
+  let r = sample_result () in
+  Cache.store cache ~key ~name:"e1" ~spec:entry.Registry.spec ~duration:0.25 r;
+  (match Cache.lookup cache ~key with
+  | None -> Alcotest.fail "expected a hit after store"
+  | Some c ->
+      check_string "name" "e1" c.Cache.name;
+      check_bool "duration" true (c.Cache.duration = 0.25);
+      check_bool "result round-trips" true (c.Cache.result = r));
+  check_int "entries" 1 (List.length (Cache.entries cache));
+  (* A different salt is a different key: the old file is never consulted. *)
+  let key' = Cache.key ~salt:"new-code" entry in
+  check_bool "salted key differs" true (key' <> key);
+  check_bool "salted miss" true (Cache.lookup cache ~key:key' = None);
+  check_int "clean removes" 1 (Cache.clean cache);
+  check_bool "miss after clean" true (Cache.lookup cache ~key = None)
+
+let cache_corrupt_is_miss () =
+  let cache = Cache.create ~dir:(temp_dir ()) in
+  let entry = dummy_entry "e1" in
+  let key = Cache.key entry in
+  Cache.store cache ~key ~name:"e1" ~spec:entry.Registry.spec ~duration:0.1
+    (sample_result ());
+  let file = Filename.concat (Cache.dir cache) (key ^ ".json") in
+  let oc = open_out file in
+  output_string oc "{ definitely not json";
+  close_out oc;
+  check_bool "corrupt file is a miss" true (Cache.lookup cache ~key = None)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let journal_roundtrip () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "run.jsonl" in
+  let w = Journal.create path in
+  let events =
+    [
+      Journal.Campaign_start { at = 100.; names = [ "e1"; "e2" ] };
+      Journal.Task_start { name = "e1"; at = 101.; attempt = 1 };
+      Journal.Task_retry { name = "e1"; attempt = 1; error = "Failure(\"x\")" };
+      Journal.Task_finish
+        {
+          name = "e1";
+          at = 102.5;
+          outcome = Journal.Failed "Failure(\"x\")";
+          duration = 1.5;
+          max_queue = None;
+          trajectory = [];
+        };
+      Journal.Task_finish
+        {
+          name = "e2";
+          at = 103.;
+          outcome = Journal.Done;
+          duration = 0.5;
+          max_queue = Some 17.;
+          trajectory = [ [ ("t", 0.); ("q", 2.) ] ];
+        };
+      Journal.Task_finish
+        {
+          name = "e3";
+          at = 103.5;
+          outcome = Journal.Cached;
+          duration = 0.1;
+          max_queue = None;
+          trajectory = [];
+        };
+      Journal.Campaign_end
+        { at = 104.; ran = 1; cached = 1; failed = 1; duration = 4. };
+    ]
+  in
+  List.iter (Journal.write w) events;
+  Journal.close w;
+  check_bool "parse-back equality" true (Journal.load path = events);
+  (* Each line is one standalone JSON object. *)
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       ignore (Jsonx.of_string line);
+       incr lines
+     done
+   with End_of_file -> close_in ic);
+  check_int "one event per line" (List.length events) !lines
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scheduler_fixture () =
+  let dir = temp_dir () in
+  let cache = Cache.create ~dir:(Filename.concat dir "cache") in
+  let journal = Journal.create (Filename.concat dir "run.jsonl") in
+  (cache, journal)
+
+let outcome_of (r : Scheduler.task_result) = r.Scheduler.outcome
+
+let scheduler_cache_flow () =
+  let cache, journal = scheduler_fixture () in
+  let runs = ref 0 in
+  let entry =
+    dummy_entry "e1"
+      ~run:(fun () ->
+        incr runs;
+        sample_result ())
+  in
+  let first = Scheduler.run ~jobs:1 ~cache ~journal [ entry ] in
+  check_int "ran once" 1 !runs;
+  check_bool "first is Done" true
+    (List.map outcome_of first = [ Journal.Done ]);
+  let second = Scheduler.run ~jobs:1 ~cache ~journal [ entry ] in
+  check_int "no rerun on hit" 1 !runs;
+  (match second with
+  | [ r ] ->
+      check_bool "second is Cached" true (r.Scheduler.outcome = Journal.Cached);
+      check_int "cache hit takes 0 attempts" 0 r.Scheduler.attempts;
+      check_bool "cached payload equal" true
+        (r.Scheduler.result = Some (sample_result ()))
+  | _ -> Alcotest.fail "expected one result");
+  let third = Scheduler.run ~jobs:1 ~force:true ~cache ~journal [ entry ] in
+  check_int "force reruns" 2 !runs;
+  check_bool "forced run is Done" true
+    (List.map outcome_of third = [ Journal.Done ]);
+  Journal.close journal
+
+let scheduler_retry_then_fail () =
+  let cache, journal = scheduler_fixture () in
+  let attempts = ref 0 in
+  let crash =
+    dummy_entry "crash"
+      ~run:(fun () ->
+        incr attempts;
+        failwith "synthetic crash")
+  in
+  let ok = dummy_entry "ok" in
+  let results =
+    Scheduler.run ~jobs:1 ~retries:1 ~cache ~journal [ crash; ok ]
+  in
+  check_int "initial + one retry" 2 !attempts;
+  (match results with
+  | [ c; o ] ->
+      check_string "order preserved" "crash" c.Scheduler.name;
+      check_bool "failed outcome" true
+        (match c.Scheduler.outcome with
+        | Journal.Failed msg ->
+            (* The raising attempt's message survives into the outcome. *)
+            let contains s sub =
+              let n = String.length sub in
+              let rec go i =
+                i + n <= String.length s
+                && (String.sub s i n = sub || go (i + 1))
+              in
+              go 0
+            in
+            contains msg "synthetic crash"
+        | _ -> false);
+      check_int "attempts recorded" 2 c.Scheduler.attempts;
+      check_bool "no result for failure" true (c.Scheduler.result = None);
+      check_bool "sibling still completes" true
+        (o.Scheduler.outcome = Journal.Done)
+  | _ -> Alcotest.fail "expected two results");
+  check_bool "failure not cached" true
+    (Cache.lookup cache ~key:(Cache.key crash) = None);
+  (* The journal shows the full story: start, retry, start, finish. *)
+  Journal.close journal;
+  let events = Journal.load (Journal.file journal) in
+  let starts =
+    List.filter
+      (function Journal.Task_start { name = "crash"; _ } -> true | _ -> false)
+      events
+  in
+  let retries =
+    List.filter
+      (function Journal.Task_retry { name = "crash"; _ } -> true | _ -> false)
+      events
+  in
+  check_int "two starts journalled" 2 (List.length starts);
+  check_int "one retry journalled" 1 (List.length retries)
+
+let scheduler_forced_fail_degrades () =
+  let cache, journal = scheduler_fixture () in
+  let entries = [ dummy_entry "a"; dummy_entry "b"; dummy_entry "c" ] in
+  let results =
+    Scheduler.run ~jobs:1 ~retries:0 ~fail:[ "b" ] ~cache ~journal entries
+  in
+  let by_outcome =
+    List.map
+      (fun r ->
+        match r.Scheduler.outcome with
+        | Journal.Done -> "done"
+        | Journal.Failed _ -> "failed"
+        | Journal.Cached -> "cached"
+        | Journal.Timed_out -> "timeout")
+      results
+  in
+  check_bool "only b fails, rest complete" true
+    (by_outcome = [ "done"; "failed"; "done" ]);
+  Journal.close journal
+
+let scheduler_timeout_cooperative () =
+  let cache, journal = scheduler_fixture () in
+  let slow =
+    dummy_entry "slow"
+      ~run:(fun () ->
+        Unix.sleepf 0.05;
+        sample_result ())
+  in
+  let results = Scheduler.run ~jobs:1 ~timeout:0.01 ~cache ~journal [ slow ] in
+  (match results with
+  | [ r ] ->
+      check_bool "reported timed out" true
+        (r.Scheduler.outcome = Journal.Timed_out);
+      check_bool "overrun result withheld" true (r.Scheduler.result = None)
+  | _ -> Alcotest.fail "expected one result");
+  check_bool "timeout not cached" true
+    (Cache.lookup cache ~key:(Cache.key slow) = None);
+  Journal.close journal
+
+let scheduler_parallel_campaign () =
+  let cache, journal = scheduler_fixture () in
+  let entries =
+    List.init 12 (fun i ->
+        let name = Printf.sprintf "t%02d" i in
+        dummy_entry name
+          ~spec:[ ("i", Spec.Int i) ]
+          ~run:(fun () ->
+            let rb = Rb.create () in
+            Rb.metric rb "i" (float_of_int i);
+            Rb.result rb))
+  in
+  let done_count = ref 0 in
+  let mu = Mutex.create () in
+  let on_done _ =
+    Mutex.lock mu;
+    incr done_count;
+    Mutex.unlock mu
+  in
+  let results = Scheduler.run ~jobs:4 ~on_done ~cache ~journal entries in
+  check_bool "input order preserved" true
+    (List.map (fun r -> r.Scheduler.name) results
+    = List.map (fun e -> e.Registry.name) entries);
+  check_bool "all done" true
+    (List.for_all (fun r -> r.Scheduler.outcome = Journal.Done) results);
+  check_int "progress called per task" 12 !done_count;
+  check_int "all cached afterwards" 12 (List.length (Cache.entries cache));
+  Journal.close journal
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "aqt_harness"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "round-trip" `Quick jsonx_roundtrip;
+          Alcotest.test_case "escapes" `Quick jsonx_parses_escapes;
+          Alcotest.test_case "rejects garbage" `Quick jsonx_rejects_garbage;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "hash deterministic" `Quick
+            spec_hash_deterministic;
+          Alcotest.test_case "hash sensitivity" `Quick spec_hash_sensitivity;
+          Alcotest.test_case "duplicate keys" `Quick spec_rejects_duplicates;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "result json round-trip" `Quick
+            result_json_roundtrip;
+          Alcotest.test_case "basics" `Quick registry_basics;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip" `Quick cache_roundtrip;
+          Alcotest.test_case "corrupt file" `Quick cache_corrupt_is_miss;
+        ] );
+      ( "journal",
+        [ Alcotest.test_case "jsonl round-trip" `Quick journal_roundtrip ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "cache flow" `Quick scheduler_cache_flow;
+          Alcotest.test_case "retry then fail" `Quick scheduler_retry_then_fail;
+          Alcotest.test_case "forced failure degrades" `Quick
+            scheduler_forced_fail_degrades;
+          Alcotest.test_case "cooperative timeout" `Quick
+            scheduler_timeout_cooperative;
+          Alcotest.test_case "parallel campaign" `Quick
+            scheduler_parallel_campaign;
+        ] );
+    ]

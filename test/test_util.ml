@@ -409,6 +409,36 @@ let parallel_simulations_deterministic () =
   check_bool "domain isolation" true
     (Par.map ~workers:4 run seeds = List.map run seeds)
 
+let parallel_chunked_matches () =
+  let xs = List.init 97 Fun.id in
+  let f x = (3 * x) - 1 in
+  check_bool "chunk 8" true (Par.map ~workers:3 ~chunk:8 f xs = List.map f xs);
+  check_bool "chunk > n" true
+    (Par.map ~workers:3 ~chunk:1000 f xs = List.map f xs);
+  Alcotest.check_raises "chunk >= 1"
+    (Invalid_argument "Parallel.map: chunk must be >= 1") (fun () ->
+      ignore (Par.map ~chunk:0 Fun.id [ 1 ]))
+
+let parallel_progress_callback () =
+  (* Each completed count in 1..n is reported exactly once, in any order. *)
+  let n = 50 in
+  let seen = Array.make (n + 1) 0 in
+  let mu = Mutex.create () in
+  let on_done k =
+    Mutex.lock mu;
+    seen.(k) <- seen.(k) + 1;
+    Mutex.unlock mu
+  in
+  ignore (Par.map ~workers:4 ~on_done Fun.id (List.init n Fun.id));
+  check_bool "each count once" true
+    (Array.for_all (fun c -> c = 1) (Array.sub seen 1 n));
+  (* Sequential path reports too. *)
+  let calls = ref [] in
+  ignore
+    (Par.map ~workers:1 ~on_done:(fun k -> calls := k :: !calls) Fun.id
+       [ 10; 20; 30 ]);
+  check_bool "sequential progress" true (List.rev !calls = [ 1; 2; 3 ])
+
 (* ------------------------------------------------------------------ *)
 (* Tbl / Csv / Ascii_plot                                              *)
 (* ------------------------------------------------------------------ *)
@@ -438,6 +468,15 @@ let csv_quoting () =
   Aqt_util.Csv_out.write_row c [ "plain"; "with,comma"; "with\"quote" ];
   check_string "rfc4180" "plain,\"with,comma\",\"with\"\"quote\"\n"
     (Buffer.contents buf)
+
+let csv_quote_field () =
+  let q = Aqt_util.Csv_out.quote in
+  check_string "plain untouched" "abc" (q "abc");
+  check_string "empty untouched" "" (q "");
+  check_string "comma" "\"a,b\"" (q "a,b");
+  check_string "quote doubled" "\"a\"\"b\"" (q "a\"b");
+  check_string "newline" "\"a\nb\"" (q "a\nb");
+  check_string "cr" "\"a\rb\"" (q "a\rb")
 
 let ascii_plot_smoke () =
   let plot = Aqt_util.Ascii_plot.create ~title:"t" () in
@@ -508,12 +547,16 @@ let () =
           Alcotest.test_case "bad workers" `Quick parallel_rejects_bad_workers;
           Alcotest.test_case "simulation isolation" `Quick
             parallel_simulations_deterministic;
+          Alcotest.test_case "chunked claiming" `Quick parallel_chunked_matches;
+          Alcotest.test_case "progress callback" `Quick
+            parallel_progress_callback;
         ] );
       ( "output",
         [
           Alcotest.test_case "table render" `Quick tbl_render;
           Alcotest.test_case "format helpers" `Quick tbl_format_helpers;
           Alcotest.test_case "csv quoting" `Quick csv_quoting;
+          Alcotest.test_case "csv quote field" `Quick csv_quote_field;
           Alcotest.test_case "ascii plot" `Quick ascii_plot_smoke;
         ] );
     ]
