@@ -1194,12 +1194,68 @@ let bechamel_suite rb =
     Test.make ~name:"gadget.cyclic n=9 m=16"
       (Staged.stage (fun () -> ignore (G.cyclic ~n:9 ~m:16 ())))
   in
+  (* Fast-path benches: unlike [step_bench], these keep the network (and its
+     intern table and packet pool) across runs, so they measure steady-state
+     stepping alone — the regime [Sim.run_steps] targets. *)
+  let fastpath_bench k =
+    let ring = Build.ring k in
+    let routes =
+      Array.init k (fun i -> Array.init 4 (fun j -> ring.edges.((i + j) mod k)))
+    in
+    let net =
+      Network.create ~recycle:true ~graph:ring.graph ~policy:Policies.fifo ()
+    in
+    let t = ref 0 in
+    let driver =
+      Sim.injections_only (fun _ _ ->
+          incr t;
+          if !t land 1 = 0 then
+            [ { Network.route = routes.(!t mod k); tag = "b" } ]
+          else [])
+    in
+    Test.make
+      ~name:(Printf.sprintf "fastpath.run_steps ring%d steady" k)
+      (Staged.stage (fun () -> Sim.run_steps ~net ~driver 200))
+  in
+  let intern_bench =
+    let ring = Build.ring 1000 in
+    let routes =
+      Array.init 1000 (fun i ->
+          Array.init 4 (fun j -> ring.edges.((i + j) mod 1000)))
+    in
+    let table = Aqt_engine.Route_intern.create () in
+    Array.iter (fun r -> ignore (Aqt_engine.Route_intern.intern table r)) routes;
+    Test.make ~name:"route_intern.intern 1k hits"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore
+               (Sys.opaque_identity (Aqt_engine.Route_intern.intern table
+                  routes.(i)))
+           done))
+  in
+  let create_bench =
+    let ring = Build.ring 1000 in
+    Test.make ~name:"network.create ring1000"
+      (Staged.stage (fun () ->
+           ignore
+             (Sys.opaque_identity
+                (Network.create ~graph:ring.graph ~policy:Policies.fifo ()))))
+  in
+  let build_bench =
+    Test.make ~name:"build.ring 1000"
+      (Staged.stage (fun () -> ignore (Sys.opaque_identity (Build.ring 1000))))
+  in
   let tests =
     Test.make_grouped ~name:"aqt"
       [
         step_bench 10;
         step_bench 100;
         step_bench 1000;
+        fastpath_bench 100;
+        fastpath_bench 1000;
+        intern_bench;
+        create_bench;
+        build_bench;
         policy_bench Policies.fifo;
         policy_bench Policies.ftg;
         policy_bench (Policies.random ~seed:1);
@@ -1223,6 +1279,22 @@ let bechamel_suite rb =
     Analyze.merge ols instances results
   in
   let results = benchmark () in
+  (* Pre-fast-path numbers (the seed engine, same machine that regenerated
+     the committed CSV).  They contextualise the committed "after" column;
+     the CI regression gate reads only the live ns/run column.  "-" marks
+     benchmarks that did not exist before the fast path landed. *)
+  let seed_ns =
+    [
+      ("aqt/engine.step ring10 loaded", "68794");
+      ("aqt/engine.step ring100 loaded", "126944");
+      ("aqt/engine.step ring1000 loaded", "958037");
+      ("aqt/gadget.cyclic n=9 m=16", "309060");
+      ("aqt/policy.fifo hot buffer", "66149");
+      ("aqt/policy.ftg hot buffer", "99796");
+      ("aqt/policy.random(1) hot buffer", "109490");
+      ("aqt/rate_check.check_rate 5k injections", "463464");
+    ]
+  in
   let rows = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
@@ -1233,11 +1305,14 @@ let bechamel_suite rb =
             | Some [ x ] -> Printf.sprintf "%.0f" x
             | _ -> "-"
           in
-          rows := [ name; estimate ] :: !rows)
+          let seed =
+            match List.assoc_opt name seed_ns with Some s -> s | None -> "-"
+          in
+          rows := [ name; estimate; seed ] :: !rows)
         tbl)
     results;
   Rb.table rb ~id:"b_microbench"
-    ~headers:[ "benchmark"; "ns/run" ]
+    ~headers:[ "benchmark"; "ns/run"; "seed ns/run" ]
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)

@@ -325,6 +325,9 @@ let sweep_cmd =
   in
   let run spec d rates horizon =
     let graph, routes = build_net ~d spec in
+    (* One intern table for the whole grid: every cell runs the same routes
+       on the same graph, so each route is validated once per sweep. *)
+    let route_table = Aqt_engine.Route_intern.create () in
     let tbl =
       Tbl.create
         ~headers:[ "policy"; "rate"; "verdict"; "max queue"; "final backlog" ]
@@ -341,8 +344,8 @@ let sweep_cmd =
             in
             let adv = { adv with Stock.rate } in
             let report =
-              Aqt.Sweep.classify ~name:"sweep" ~graph ~policy ~adversary:adv
-                ~horizon ()
+              Aqt.Sweep.classify ~route_table ~name:"sweep" ~graph ~policy
+                ~adversary:adv ~horizon ()
             in
             Tbl.add_row tbl
               [
@@ -731,6 +734,121 @@ let campaign_cmd =
           crash-tolerant scheduling and structured run journals")
     [ run_cmd; status_cmd; clean_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* bench-gate: compare a microbenchmark CSV against a baseline         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_gate_cmd =
+  (* Benchmark names in b_microbench.csv contain no commas or quotes, so a
+     plain split is a faithful parser for this format. *)
+  let load_csv path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let split line = String.split_on_char ',' line in
+        let headers =
+          match input_line ic with
+          | h -> split h
+          | exception End_of_file ->
+              failwith (Printf.sprintf "%s: empty CSV" path)
+        in
+        let ns_col =
+          let rec idx i = function
+            | [] ->
+                failwith
+                  (Printf.sprintf "%s: no \"ns/run\" column in %s" path
+                     (String.concat "," headers))
+            | "ns/run" :: _ -> i
+            | _ :: rest -> idx (i + 1) rest
+          in
+          idx 0 headers
+        in
+        let rec rows acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line when String.trim line = "" -> rows acc
+          | line -> (
+              let cells = split line in
+              match (cells, float_of_string_opt (List.nth cells ns_col)) with
+              | name :: _, Some ns -> rows ((name, ns) :: acc)
+              | _ -> rows acc)
+        in
+        rows [])
+  in
+  let run baseline current tolerance =
+    match (load_csv baseline, load_csv current) with
+    | exception (Sys_error msg | Failure msg) ->
+        Printf.eprintf "aqt_sim bench-gate: %s\n" msg;
+        exit 2
+    | base, cur ->
+        let tbl =
+          Tbl.create
+            ~headers:[ "benchmark"; "baseline ns"; "current ns"; "ratio"; "" ]
+        in
+        let regressions = ref 0 in
+        List.iter
+          (fun (name, base_ns) ->
+            match List.assoc_opt name cur with
+            | None -> Tbl.add_row tbl [ name; Tbl.ff base_ns; "-"; "-"; "gone" ]
+            | Some cur_ns ->
+                let ratio = cur_ns /. base_ns in
+                let flag =
+                  if ratio > 1. +. tolerance then begin
+                    incr regressions;
+                    "REGRESSED"
+                  end
+                  else if ratio < 1. -. tolerance then "improved"
+                  else "ok"
+                in
+                Tbl.add_row tbl
+                  [
+                    name;
+                    Tbl.ff base_ns;
+                    Tbl.ff cur_ns;
+                    Printf.sprintf "%.2f" ratio;
+                    flag;
+                  ])
+          base;
+        List.iter
+          (fun (name, cur_ns) ->
+            if not (List.mem_assoc name base) then
+              Tbl.add_row tbl [ name; "-"; Tbl.ff cur_ns; "-"; "new" ])
+          cur;
+        Tbl.print tbl;
+        if !regressions > 0 then begin
+          Printf.printf "\n%d benchmark(s) regressed more than %.0f%%\n"
+            !regressions (tolerance *. 100.);
+          exit 1
+        end
+        else Printf.printf "\nno regression beyond %.0f%%\n" (tolerance *. 100.)
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string "bench_results/b_microbench.csv"
+      & info [ "baseline" ] ~docv:"CSV"
+          ~doc:"Baseline microbenchmark CSV (benchmark,ns/run,...).")
+  in
+  let current =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "current" ] ~docv:"CSV" ~doc:"Freshly measured CSV to check.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ]
+          ~doc:"Allowed slowdown fraction before failing (default 0.25).")
+  in
+  Cmd.v
+    (Cmd.info "bench-gate"
+       ~doc:
+         "Compare a microbenchmark CSV against a baseline; exit 1 if any \
+          benchmark slowed beyond the tolerance")
+    Term.(const run $ baseline $ current $ tolerance)
+
 let () =
   let doc = "adversarial queuing theory simulator (Lotker-Patt-Shamir-Rosen)" in
   let info = Cmd.info "aqt_sim" ~version:"1.0.0" ~doc in
@@ -740,5 +858,5 @@ let () =
           [
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
-            spacetime_cmd; campaign_cmd;
+            spacetime_cmd; campaign_cmd; bench_gate_cmd;
           ]))

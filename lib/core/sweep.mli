@@ -26,6 +26,7 @@ type report = {
 
 val classify :
   ?blowup:int ->
+  ?route_table:Aqt_engine.Route_intern.t ->
   name:string ->
   graph:Aqt_graph.Digraph.t ->
   policy:Aqt_engine.Policy_type.t ->
@@ -34,4 +35,7 @@ val classify :
   unit ->
   report
 (** Runs for [horizon] steps (default blowup cap 200_000 packets in one
-    buffer) and classifies. *)
+    buffer) and classifies.  Runs on the engine fast path (packet recycling
+    on); pass one [route_table] across the cells of a grid — all on the same
+    graph — to validate and intern each distinct route once for the whole
+    sweep. *)

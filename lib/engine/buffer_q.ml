@@ -34,17 +34,28 @@ let enqueue b (policy : Policy_type.t) ~now (p : Packet.t) =
       let key = policy.key p ~now ~seq in
       H.add h ~key ~tie:seq p
 
+(* Option-returning primitives, not try/with: the dequeue path runs once per
+   nonempty buffer per step and must not allocate exceptions. *)
 let dequeue b =
   match b.impl with
-  | Fifo d -> (try Some (Dq.pop_front d) with Not_found -> None)
-  | Lifo d -> (try Some (Dq.pop_back d) with Not_found -> None)
-  | Keyed h -> (try Some (H.pop_min h) with Not_found -> None)
+  | Fifo d -> Dq.pop_front_opt d
+  | Lifo d -> Dq.pop_back_opt d
+  | Keyed h -> H.pop_min_opt h
+
+(* The step loop's branch-free variant: the active-edge list guarantees the
+   buffer is nonempty, so skip even the option wrapper.  Raising here means
+   the active-list invariant broke — an engine bug, not control flow. *)
+let take b =
+  match b.impl with
+  | Fifo d -> Dq.pop_front d
+  | Lifo d -> Dq.pop_back d
+  | Keyed h -> H.pop_min h
 
 let peek b =
   match b.impl with
-  | Fifo d -> (try Some (Dq.peek_front d) with Not_found -> None)
-  | Lifo d -> (try Some (Dq.peek_back d) with Not_found -> None)
-  | Keyed h -> (try Some (H.min_elt h) with Not_found -> None)
+  | Fifo d -> Dq.peek_front_opt d
+  | Lifo d -> Dq.peek_back_opt d
+  | Keyed h -> H.min_elt_opt h
 
 let iter f b =
   match b.impl with Fifo d | Lifo d -> Dq.iter f d | Keyed h -> H.iter f h

@@ -18,6 +18,11 @@ val enqueue : t -> Policy_type.t -> now:int -> Packet.t -> unit
 val dequeue : t -> Packet.t option
 (** Removes and returns the packet the policy forwards next. *)
 
+val take : t -> Packet.t
+(** [dequeue] for a buffer the caller knows is nonempty (the step loop only
+    visits active edges); allocates nothing.
+    @raise Not_found if empty — an invariant violation, not control flow. *)
+
 val peek : t -> Packet.t option
 val iter : (Packet.t -> unit) -> t -> unit
 (** Arbitrary order. *)

@@ -11,6 +11,14 @@ type t = {
   validate_routes : bool;
   tie_order : tie_order;
   tracer : (Trace.event -> unit) option;
+  (* Hash-consed routes: packets injected with equal routes share one
+     canonical array, validated once.  May be shared across networks on the
+     same graph (see Route_intern). *)
+  routes : Route_intern.t;
+  (* Free-list of absorbed packet records, reused by [fresh_packet] when
+     [recycle] is on so steady-state runs stop churning the heap. *)
+  recycle : bool;
+  pool : Packet.t Dyn.t;
   mutable now : int;
   mutable next_id : int;
   mutable in_flight : int;
@@ -41,7 +49,8 @@ type t = {
 }
 
 let create ?(log_injections = false) ?(validate_routes = true)
-    ?(tie_order = Transit_first) ?tracer ~graph ~policy () =
+    ?(tie_order = Transit_first) ?tracer ?route_table ?(recycle = false)
+    ~graph ~policy () =
   let m = Digraph.n_edges graph in
   {
     graph;
@@ -50,6 +59,12 @@ let create ?(log_injections = false) ?(validate_routes = true)
     validate_routes;
     tie_order;
     tracer;
+    routes =
+      (match route_table with
+      | Some t -> t
+      | None -> Route_intern.create ());
+    recycle;
+    pool = Dyn.create ();
     now = 0;
     next_id = 0;
     in_flight = 0;
@@ -75,12 +90,23 @@ let create ?(log_injections = false) ?(validate_routes = true)
 let graph t = t.graph
 let policy t = t.policy
 let now t = t.now
+let route_table t = t.routes
+let pooled t = Dyn.length t.pool
 
 let check_route t route =
   if t.validate_routes && not (Digraph.route_is_simple t.graph route) then
     invalid_arg
       (Format.asprintf "Network: route %a is not a simple path"
          (Digraph.pp_route t.graph) route)
+
+(* Canonical array for an injected route; validation runs only when the
+   contents are seen for the first time. *)
+let intern_route t route =
+  match Route_intern.find t.routes route with
+  | Some canonical -> canonical
+  | None ->
+      check_route t route;
+      Route_intern.add t.routes route
 
 let enqueue_at t (p : Packet.t) e =
   p.buffered_at <- t.now;
@@ -93,44 +119,63 @@ let enqueue_at t (p : Packet.t) e =
   if len > t.max_queue then t.max_queue <- len;
   if len > t.max_queue_edge.(e) then t.max_queue_edge.(e) <- len
 
+(* [route] must already be canonical (interned) or freshly allocated; no
+   defensive copy happens here. *)
 let fresh_packet t ~initial ~exogenous ~tag route : Packet.t =
   let id = t.next_id in
   t.next_id <- id + 1;
-  {
-    id;
-    injected_at = t.now;
-    initial;
-    exogenous;
-    tag;
-    route = Array.copy route;
-    hop = 0;
-    buffered_at = t.now;
-    reroutes = 0;
-  }
-
-let trace t e = match t.tracer with Some f -> f e | None -> ()
+  if t.recycle && not (Dyn.is_empty t.pool) then begin
+    let p = Dyn.pop t.pool in
+    p.id <- id;
+    p.injected_at <- t.now;
+    p.initial <- initial;
+    p.exogenous <- exogenous;
+    p.tag <- tag;
+    p.route <- route;
+    p.hop <- 0;
+    p.buffered_at <- t.now;
+    p.reroutes <- 0;
+    p
+  end
+  else
+    {
+      id;
+      injected_at = t.now;
+      initial;
+      exogenous;
+      tag;
+      route;
+      hop = 0;
+      buffered_at = t.now;
+      reroutes = 0;
+    }
 
 let mark_route_use t route =
-  Array.iter (fun e -> t.last_use.(e) <- t.now) route
+  for i = 0 to Array.length route - 1 do
+    t.last_use.(Array.unsafe_get route i) <- t.now
+  done
 
 let place_initial t ?(tag = "init") route =
   if t.now <> 0 then
     invalid_arg "Network.place_initial: the system already started";
-  check_route t route;
+  let route = intern_route t route in
   let p = fresh_packet t ~initial:true ~exogenous:false ~tag route in
   t.initials <- t.initials + 1;
   t.in_flight <- t.in_flight + 1;
   mark_route_use t route;
   enqueue_at t p route.(0);
-  trace t
-    (Trace.Injected
-       {
-         t = t.now;
-         packet = p.id;
-         edge = route.(0);
-         route_len = Array.length route;
-         initial = true;
-       });
+  (match t.tracer with
+  | None -> ()
+  | Some f ->
+      f
+        (Trace.Injected
+           {
+             t = t.now;
+             packet = p.id;
+             edge = route.(0);
+             route_len = Array.length route;
+             initial = true;
+           }));
   p
 
 let absorb t (p : Packet.t) =
@@ -140,28 +185,51 @@ let absorb t (p : Packet.t) =
   t.latency_sum <- t.latency_sum + latency;
   if latency > t.latency_max then t.latency_max <- latency;
   Aqt_util.Histo.record t.latency_histo latency;
-  trace t (Trace.Absorbed { t = t.now; packet = p.id; latency });
-  match t.absorbed_log with
+  (match t.tracer with
+  | None -> ()
+  | Some f -> f (Trace.Absorbed { t = t.now; packet = p.id; latency }));
+  (match t.absorbed_log with
   | Some log when not p.exogenous ->
       Dyn.push log (p.injected_at, p.id, p.initial, p.route)
-  | _ -> ()
+  | _ -> ());
+  if t.recycle then Dyn.push t.pool p
 
 let inject t ~exogenous (inj : injection) =
-  check_route t inj.route;
-  let p = fresh_packet t ~initial:false ~exogenous ~tag:inj.tag inj.route in
+  let route = intern_route t inj.route in
+  let p = fresh_packet t ~initial:false ~exogenous ~tag:inj.tag route in
   t.injected <- t.injected + 1;
   t.in_flight <- t.in_flight + 1;
-  if not exogenous then mark_route_use t inj.route;
-  enqueue_at t p inj.route.(0);
-  trace t
-    (Trace.Injected
-       {
-         t = t.now;
-         packet = p.id;
-         edge = inj.route.(0);
-         route_len = Array.length inj.route;
-         initial = false;
-       })
+  if not exogenous then mark_route_use t route;
+  enqueue_at t p route.(0);
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+      f
+        (Trace.Injected
+           {
+             t = t.now;
+             packet = p.id;
+             edge = route.(0);
+             route_len = Array.length route;
+             initial = false;
+           })
+
+(* Top-level helpers rather than local closures: [step] is the hot loop and
+   must not allocate a closure per call. *)
+let deliver t =
+  let n = Dyn.length t.pending in
+  for i = 0 to n - 1 do
+    let p : Packet.t = Dyn.get t.pending i in
+    p.hop <- p.hop + 1;
+    if p.hop >= Array.length p.route then absorb t p
+    else enqueue_at t p (Array.unsafe_get p.route p.hop)
+  done
+
+let rec inject_all t ~exogenous = function
+  | [] -> ()
+  | inj :: rest ->
+      inject t ~exogenous inj;
+      inject_all t ~exogenous rest
 
 let step t ?(exogenous = []) injections =
   t.now <- t.now + 1;
@@ -172,43 +240,40 @@ let step t ?(exogenous = []) injections =
   t.active <- t.active_scratch;
   t.active_scratch <- old_active;
   Dyn.clear t.active;
-  Dyn.iter
-    (fun e ->
-      let buf = t.buffers.(e) in
-      match Buffer_q.dequeue buf with
-      | None ->
-          (* The active list never holds empty buffers. *)
-          assert false
-      | Some p ->
-          let dwell = t.now - p.buffered_at in
-          if dwell > t.max_dwell then t.max_dwell <- dwell;
-          t.sent_edge.(e) <- t.sent_edge.(e) + 1;
-          trace t (Trace.Forwarded { t = t.now; packet = p.id; edge = e; dwell });
-          Dyn.push t.pending p;
-          if Buffer_q.is_empty buf then t.active_flag.(e) <- false
-          else Dyn.push t.active e)
-    old_active;
+  let n_active = Dyn.length old_active in
+  for i = 0 to n_active - 1 do
+    let e = Dyn.get old_active i in
+    let buf = t.buffers.(e) in
+    (* The active list never holds empty buffers, so [take] cannot fail. *)
+    let p = Buffer_q.take buf in
+    let dwell = t.now - p.buffered_at in
+    if dwell > t.max_dwell then t.max_dwell <- dwell;
+    t.sent_edge.(e) <- t.sent_edge.(e) + 1;
+    (match t.tracer with
+    | None -> ()
+    | Some f ->
+        f (Trace.Forwarded { t = t.now; packet = p.id; edge = e; dwell }));
+    Dyn.push t.pending p;
+    if Buffer_q.is_empty buf then t.active_flag.(e) <- false
+    else Dyn.push t.active e
+  done;
   (* Substep 2: deliveries and injections, in the configured tie order. *)
-  let deliver () =
-    Dyn.iter
-      (fun (p : Packet.t) ->
-        p.hop <- p.hop + 1;
-        if Packet.is_absorbed p then absorb t p
-        else enqueue_at t p p.route.(p.hop))
-      t.pending
-  in
   (match t.tie_order with
   | Transit_first ->
-      deliver ();
-      List.iter (inject t ~exogenous:false) injections
+      deliver t;
+      inject_all t ~exogenous:false injections
   | Injection_first ->
-      List.iter (inject t ~exogenous:false) injections;
-      deliver ());
-  List.iter (inject t ~exogenous:true) exogenous
+      inject_all t ~exogenous:false injections;
+      deliver t);
+  match exogenous with
+  | [] -> ()
+  | l -> inject_all t ~exogenous:true l
 
 let reroute t (p : Packet.t) suffix =
   if Packet.is_absorbed p then
     invalid_arg "Network.reroute: packet already absorbed";
+  (* Copy-on-reroute: the current route may be a shared interned array, so
+     the rewrite always builds a fresh one. *)
   let new_route =
     Array.concat [ Array.sub p.route 0 (p.hop + 1); suffix ]
   in
@@ -216,9 +281,12 @@ let reroute t (p : Packet.t) suffix =
   p.route <- new_route;
   p.reroutes <- p.reroutes + 1;
   t.reroutes <- t.reroutes + 1;
-  trace t
-    (Trace.Rerouted
-       { t = t.now; packet = p.id; route_len = Array.length new_route })
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+      f
+        (Trace.Rerouted
+           { t = t.now; packet = p.id; route_len = Array.length new_route })
 
 let buffer_len t e = Buffer_q.length t.buffers.(e)
 let buffer_packets t e = Buffer_q.to_sorted_list t.buffers.(e)
@@ -285,7 +353,8 @@ let full_log t ~want_initial =
         t;
       let all = Dyn.to_array selected in
       Array.sort
-        (fun (t1, id1, _) (t2, id2, _) -> compare (t1, id1) (t2, id2))
+        (fun (t1, id1, _) (t2, id2, _) ->
+          if t1 <> t2 then Int.compare t1 t2 else Int.compare id1 id2)
         all;
       all
 

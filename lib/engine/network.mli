@@ -34,6 +34,8 @@ val create :
   ?validate_routes:bool ->
   ?tie_order:tie_order ->
   ?tracer:(Trace.event -> unit) ->
+  ?route_table:Route_intern.t ->
+  ?recycle:bool ->
   graph:Aqt_graph.Digraph.t ->
   policy:Policy_type.t ->
   unit ->
@@ -42,12 +44,31 @@ val create :
     adversary-injected packet, including absorbed ones — needed by the rate
     checker, costs memory proportional to the injection count.
     [validate_routes] (default true) checks that every injected route is a
-    simple directed path.  [tracer] receives every packet event
-    (see {!Trace}); omit it for zero tracing overhead. *)
+    simple directed path; with interning the check runs once per {e
+    distinct} route, not once per injection.
+    [tracer] receives every packet event (see {!Trace}); omit it for zero
+    tracing overhead — with no tracer the step loop builds no event values
+    at all.
+    [route_table] supplies a shared {!Route_intern} table (e.g. one table
+    for every cell of a rate sweep over the same graph); by default each
+    network gets a private table.  Only share across networks with the same
+    graph — interned routes are validated once, against the graph of the
+    network that first saw them.
+    [recycle] (default false) pools absorbed packet records on a free-list
+    and reuses them for later injections, making steady-state stepping
+    allocation-free.  Enable it only when no code retains [Packet.t] values
+    past absorption (holding buffered packets between steps is fine). *)
 
 val graph : t -> Aqt_graph.Digraph.t
 val policy : t -> Policy_type.t
 val now : t -> int
+
+val route_table : t -> Route_intern.t
+(** The intern table this network resolves injected routes through. *)
+
+val pooled : t -> int
+(** Packet records currently parked on the recycling free-list (0 unless the
+    network was created with [recycle:true]). *)
 
 (** {1 Driving the system} *)
 

@@ -1,9 +1,12 @@
+(* Every field is mutable so the network's packet pool can reinitialise a
+   recycled record in place; outside [Network.fresh_packet] the identity
+   fields (id, injected_at, initial, exogenous, tag) behave as immutable. *)
 type t = {
-  id : int;
-  injected_at : int;
-  initial : bool;
-  exogenous : bool;
-  tag : string;
+  mutable id : int;
+  mutable injected_at : int;
+  mutable initial : bool;
+  mutable exogenous : bool;
+  mutable tag : string;
   mutable route : int array;
   mutable hop : int;
   mutable buffered_at : int;

@@ -7,19 +7,29 @@
 
     Time fields follow the model of Section 2: a packet enters a buffer in the
     second substep of step [t] ([buffered_at = t]) and can be forwarded in the
-    first substep of step [t+1] at the earliest. *)
+    first substep of step [t+1] at the earliest.
+
+    Sharing rules of the fast path: [route] may be an interned canonical
+    array shared with other packets ({!Route_intern}) — never mutate its
+    elements; route rewrites go through [Network.reroute], which installs a
+    fresh array.  When the owning network recycles packets
+    ([Network.create ~recycle:true]), a record may be reinitialised for a
+    new packet after absorption, so do not hold on to absorbed packets —
+    every field is mutable only to make that in-place reinitialisation
+    possible. *)
 
 type t = {
-  id : int;
-  injected_at : int;
-  initial : bool;
+  mutable id : int;
+  mutable injected_at : int;
+  mutable initial : bool;
       (** True for packets placed by an initial configuration rather than
           injected by the adversary (Section 4's S-initial-configurations). *)
-  exogenous : bool;
+  mutable exogenous : bool;
       (** True for background cross-traffic injected outside the adversary's
           budget (robustness experiments): excluded from rate accounting,
           Def 3.2 edge-use tracking and the injection log. *)
-  tag : string;  (** Adversary annotation ("old", "short", ...); traces only. *)
+  mutable tag : string;
+      (** Adversary annotation ("old", "short", ...); traces only. *)
   mutable route : int array;
   mutable hop : int;  (** Index into [route] of the next edge; [= length route]
                           once absorbed. *)

@@ -6,6 +6,13 @@ type sample = {
   cur_max_queue : int;
   absorbed : int;
   max_dwell : int;
+  (* Cumulative GC counters at sampling time (Gc.quick_stat, no collection
+     triggered): campaigns record allocation per step, and the fast-path
+     acceptance check is "zero major-heap growth per step after warmup". *)
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
 }
 
 type t = { every : int; store : sample Dyn.t }
@@ -16,7 +23,8 @@ let make ?(every = 1) () =
 
 let observe r net =
   let now = Network.now net in
-  if now mod r.every = 0 then
+  if now mod r.every = 0 then begin
+    let gc = Gc.quick_stat () in
     Dyn.push r.store
       {
         t = now;
@@ -24,7 +32,14 @@ let observe r net =
         cur_max_queue = Network.current_max_queue net;
         absorbed = Network.absorbed net;
         max_dwell = Network.max_dwell net;
+        (* quick_stat's minor_words only refreshes at GC events (OCaml 5);
+           Gc.minor_words reads the allocation pointer and is exact. *)
+        gc_minor_words = Gc.minor_words ();
+        gc_major_words = gc.Gc.major_words;
+        gc_minor_collections = gc.Gc.minor_collections;
+        gc_major_collections = gc.Gc.major_collections;
       }
+  end
 
 let samples r = Dyn.to_array r.store
 let length r = Dyn.length r.store
@@ -39,6 +54,8 @@ let to_rows r =
            ("max_queue", float_of_int s.cur_max_queue);
            ("absorbed", float_of_int s.absorbed);
            ("max_dwell", float_of_int s.max_dwell);
+           ("gc_minor_words", s.gc_minor_words);
+           ("gc_major_words", s.gc_major_words);
          ])
        (samples r))
 
@@ -47,3 +64,12 @@ let points r f =
 
 let last r =
   if Dyn.is_empty r.store then None else Some (Dyn.last r.store)
+
+let major_words_per_step r =
+  if Dyn.length r.store < 2 then 0.0
+  else begin
+    let first = Dyn.get r.store 0 and last = Dyn.last r.store in
+    let steps = last.t - first.t in
+    if steps <= 0 then 0.0
+    else (last.gc_major_words -. first.gc_major_words) /. float_of_int steps
+  end

@@ -9,6 +9,14 @@ type sample = {
   cur_max_queue : int;
   absorbed : int;
   max_dwell : int;
+  gc_minor_words : float;
+      (** Cumulative minor-heap words allocated by this process at sampling
+          time ([Gc.quick_stat]); diff two samples for allocation per step. *)
+  gc_major_words : float;
+      (** Cumulative major-heap words (direct allocation + promotion).  Flat
+          across samples = the zero-allocation steady state. *)
+  gc_minor_collections : int;
+  gc_major_collections : int;
 }
 
 type t
@@ -24,12 +32,17 @@ val length : t -> int
 
 val to_rows : t -> (string * float) list list
 (** One labelled row per sample, in time order — the keys are [t],
-    [in_flight], [max_queue], [absorbed], [max_dwell].  This is the
-    exchange format for embedding sampled trajectories in campaign
-    journals and cached results without ad-hoc formatting at the call
-    site. *)
+    [in_flight], [max_queue], [absorbed], [max_dwell], [gc_minor_words],
+    [gc_major_words].  This is the exchange format for embedding sampled
+    trajectories in campaign journals and cached results without ad-hoc
+    formatting at the call site. *)
 
 val points : t -> (sample -> float) -> (float * float) array
 (** [(t, f sample)] pairs, for plotting. *)
 
 val last : t -> sample option
+
+val major_words_per_step : t -> float
+(** Major-heap growth per simulated step between the first and last sample
+    (0 with fewer than two samples).  The engine's zero-allocation
+    acceptance metric: a warmed-up fast-path run should report ~0. *)

@@ -46,7 +46,13 @@ let run ?recorder ?blowup ?stop_when ?(drain_stop = false) ~net ~driver
           | Some f when Option.is_some (f net) ->
               Stopped (Option.get (f net))
           | _ ->
-              if drain_stop && Network.in_flight net = 0 && injections = []
+              (* Constructor match, not [injections = []]: polymorphic
+                 equality on a list of records is a per-step call into the
+                 generic compare runtime. *)
+              let no_injections =
+                match injections with [] -> true | _ :: _ -> false
+              in
+              if drain_stop && Network.in_flight net = 0 && no_injections
               then Drained
               else go (steps_done + 1))
     end
@@ -59,6 +65,26 @@ let run ?recorder ?blowup ?stop_when ?(drain_stop = false) ~net ~driver
     max_queue = Network.max_queue_ever net;
     max_dwell = Network.max_dwell net;
   }
+
+(* The fast path for steady-state campaigns: no outcome record, no blowup or
+   stop predicates, no per-step option checks — just drive the network.  The
+   recorder match happens once, outside the loop. *)
+let run_steps ?recorder ~net ~driver n =
+  if n < 0 then invalid_arg "Sim.run_steps: negative step count";
+  match recorder with
+  | None ->
+      for _ = 1 to n do
+        let t = Network.now net + 1 in
+        driver.before_step net t;
+        Network.step net (driver.injections_at net t)
+      done
+  | Some r ->
+      for _ = 1 to n do
+        let t = Network.now net + 1 in
+        driver.before_step net t;
+        Network.step net (driver.injections_at net t);
+        Recorder.observe r net
+      done
 
 let pp_stop fmt = function
   | Horizon -> Format.pp_print_string fmt "horizon"

@@ -14,7 +14,11 @@ type edge = private {
   id : int;
   src : int;
   dst : int;
-  label : string;  (** Human-readable name used in traces and error text. *)
+  label : string;
+      (** Human-readable name used in traces and error text.  [""] when the
+          edge was added without an explicit label; use {!val-label} to get
+          the effective name (defaults are materialised on read so that
+          building large graphs does not allocate per-edge strings). *)
 }
 
 (** {1 Construction} *)

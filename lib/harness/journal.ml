@@ -16,6 +16,8 @@ type event =
       outcome : outcome;
       duration : float;
       max_queue : float option;
+      gc_minor_words : float option;
+      gc_major_words : float option;
       trajectory : (string * float) list list;
     }
   | Campaign_end of {
@@ -69,7 +71,21 @@ let event_to_json = function
           ("attempt", Jsonx.Int attempt);
           ("error", Jsonx.Str error);
         ]
-  | Task_finish { name; at; outcome; duration; max_queue; trajectory } ->
+  | Task_finish
+      {
+        name;
+        at;
+        outcome;
+        duration;
+        max_queue;
+        gc_minor_words;
+        gc_major_words;
+        trajectory;
+      } ->
+      let opt_float key = function
+        | None -> []
+        | Some v -> [ (key, Jsonx.Float v) ]
+      in
       Jsonx.Obj
         ([
            ("ev", Jsonx.Str "task_finish");
@@ -78,9 +94,9 @@ let event_to_json = function
            ("outcome", outcome_to_json outcome);
            ("duration", Jsonx.Float duration);
          ]
-        @ (match max_queue with
-          | None -> []
-          | Some q -> [ ("max_queue", Jsonx.Float q) ])
+        @ opt_float "max_queue" max_queue
+        @ opt_float "gc_minor_words" gc_minor_words
+        @ opt_float "gc_major_words" gc_major_words
         @
         if trajectory = [] then []
         else
@@ -134,6 +150,10 @@ let event_of_json j =
           outcome = outcome_of_json (Jsonx.get "outcome" j);
           duration = Jsonx.to_float (Jsonx.get "duration" j);
           max_queue = Option.map Jsonx.to_float (Jsonx.member "max_queue" j);
+          gc_minor_words =
+            Option.map Jsonx.to_float (Jsonx.member "gc_minor_words" j);
+          gc_major_words =
+            Option.map Jsonx.to_float (Jsonx.member "gc_major_words" j);
           trajectory =
             (match Jsonx.member "trajectory" j with
             | None -> []

@@ -26,6 +26,13 @@ type event =
       outcome : outcome;
       duration : float;
       max_queue : float option;
+      gc_minor_words : float option;
+      gc_major_words : float option;
+          (** Heap words the task allocated while running (minor = total
+              allocation, major = direct major allocation + promotions);
+              [None] for cached, failed and timed-out tasks.  Lets a campaign
+              journal double as an allocation regression log for the engine
+              fast path. *)
       trajectory : (string * float) list list;
     }
   | Campaign_end of {

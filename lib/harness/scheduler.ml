@@ -8,8 +8,8 @@ type task_result = {
 
 let now () = Unix.gettimeofday ()
 
-let finish_event journal name outcome duration (result : Registry.result option)
-    =
+let finish_event ?gc journal name outcome duration
+    (result : Registry.result option) =
   let max_queue =
     match result with
     | None -> None
@@ -18,9 +18,21 @@ let finish_event journal name outcome duration (result : Registry.result option)
   let trajectory =
     match result with None -> [] | Some r -> r.trajectory
   in
+  let gc_minor_words, gc_major_words =
+    match gc with None -> (None, None) | Some (mi, ma) -> (Some mi, Some ma)
+  in
   Journal.write journal
     (Journal.Task_finish
-       { name; at = now (); outcome; duration; max_queue; trajectory })
+       {
+         name;
+         at = now ();
+         outcome;
+         duration;
+         max_queue;
+         gc_minor_words;
+         gc_major_words;
+         trajectory;
+       })
 
 let run_one ?timeout ~retries ~salt ~fail ~cache ~journal
     (entry : Registry.entry) =
@@ -34,12 +46,21 @@ let run_one ?timeout ~retries ~salt ~fail ~cache ~journal
     Journal.write journal
       (Journal.Task_start { name; at = now (); attempt = k });
     let t0 = now () in
+    (* Precise allocation counter; quick_stat's copy only refreshes at GC
+       events, but major_words has no precise accessor, so the major figure
+       is approximate on tasks that never trigger a collection. *)
+    let minor0 = Gc.minor_words () in
+    let major0 = (Gc.quick_stat ()).Gc.major_words in
     match
       forced_failure ();
       entry.run ()
     with
     | result ->
         let duration = now () -. t0 in
+        let gc =
+          ( Gc.minor_words () -. minor0,
+            (Gc.quick_stat ()).Gc.major_words -. major0 )
+        in
         let timed_out =
           match timeout with Some t -> duration > t | None -> false
         in
@@ -55,7 +76,7 @@ let run_one ?timeout ~retries ~salt ~fail ~cache ~journal
         end
         else begin
           Cache.store cache ~key ~name ~spec:entry.spec ~duration result;
-          finish_event journal name Journal.Done duration (Some result);
+          finish_event ~gc journal name Journal.Done duration (Some result);
           {
             name;
             outcome = Journal.Done;

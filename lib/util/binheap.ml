@@ -55,6 +55,9 @@ let pop_min h =
   end;
   top.value
 
+let min_elt_opt h = if h.len = 0 then None else Some h.data.(0).value
+let pop_min_opt h = if h.len = 0 then None else Some (pop_min h)
+
 let iter f h =
   for i = 0 to h.len - 1 do
     f h.data.(i).value

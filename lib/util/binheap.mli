@@ -21,6 +21,10 @@ val min_elt : 'a t -> 'a
 val pop_min : 'a t -> 'a
 (** Remove and return the minimum.  @raise Not_found if empty. *)
 
+val min_elt_opt : 'a t -> 'a option
+val pop_min_opt : 'a t -> 'a option
+(** Option-returning variants: [None] on an empty heap instead of raising. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** Iterates in arbitrary (heap) order. *)
 

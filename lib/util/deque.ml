@@ -53,6 +53,17 @@ let peek_back d =
   if d.len = 0 then raise Not_found
   else d.data.((d.head + d.len - 1) mod Array.length d.data)
 
+(* Option-returning variants: the engine's hot dequeue path must not use
+   exceptions as control flow (raising allocates and defeats flambda). *)
+
+let pop_front_opt d = if d.len = 0 then None else Some (pop_front d)
+let pop_back_opt d = if d.len = 0 then None else Some (pop_back d)
+let peek_front_opt d = if d.len = 0 then None else Some d.data.(d.head)
+
+let peek_back_opt d =
+  if d.len = 0 then None
+  else Some d.data.((d.head + d.len - 1) mod Array.length d.data)
+
 let get d i =
   if i < 0 || i >= d.len then invalid_arg "Deque.get";
   d.data.((d.head + i) mod Array.length d.data)

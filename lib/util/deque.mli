@@ -24,6 +24,14 @@ val peek_front : 'a t -> 'a
 val peek_back : 'a t -> 'a
 (** @raise Not_found if empty. *)
 
+val pop_front_opt : 'a t -> 'a option
+val pop_back_opt : 'a t -> 'a option
+val peek_front_opt : 'a t -> 'a option
+
+val peek_back_opt : 'a t -> 'a option
+(** Option-returning variants of the above: [None] on an empty deque instead
+    of raising, so callers never use exceptions as dequeue control flow. *)
+
 val get : 'a t -> int -> 'a
 (** [get d i] is the i-th element from the front.
     @raise Invalid_argument out of bounds. *)

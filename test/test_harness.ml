@@ -197,6 +197,8 @@ let journal_roundtrip () =
           outcome = Journal.Failed "Failure(\"x\")";
           duration = 1.5;
           max_queue = None;
+          gc_minor_words = None;
+          gc_major_words = None;
           trajectory = [];
         };
       Journal.Task_finish
@@ -206,6 +208,8 @@ let journal_roundtrip () =
           outcome = Journal.Done;
           duration = 0.5;
           max_queue = Some 17.;
+          gc_minor_words = Some 1234.;
+          gc_major_words = Some 56.;
           trajectory = [ [ ("t", 0.); ("q", 2.) ] ];
         };
       Journal.Task_finish
@@ -215,6 +219,8 @@ let journal_roundtrip () =
           outcome = Journal.Cached;
           duration = 0.1;
           max_queue = None;
+          gc_minor_words = None;
+          gc_major_words = None;
           trajectory = [];
         };
       Journal.Campaign_end

@@ -196,6 +196,20 @@ let deque_wraparound () =
      Dq.iter (fun _ -> incr n) d;
      !n)
 
+let deque_option_variants () =
+  let d = Dq.create () in
+  check_bool "pop_front_opt empty" true (Dq.pop_front_opt d = None);
+  check_bool "pop_back_opt empty" true (Dq.pop_back_opt d = None);
+  check_bool "peek_front_opt empty" true (Dq.peek_front_opt d = None);
+  check_bool "peek_back_opt empty" true (Dq.peek_back_opt d = None);
+  Dq.push_back d 1;
+  Dq.push_back d 2;
+  check_bool "peek_front_opt" true (Dq.peek_front_opt d = Some 1);
+  check_bool "peek_back_opt" true (Dq.peek_back_opt d = Some 2);
+  check_bool "pop_front_opt" true (Dq.pop_front_opt d = Some 1);
+  check_bool "pop_back_opt" true (Dq.pop_back_opt d = Some 2);
+  check_bool "drained" true (Dq.pop_front_opt d = None)
+
 (* Model check against two stdlib lists (front/back). *)
 let prop_deque_model =
   QCheck.Test.make ~name:"deque behaves like a functional sequence" ~count:300
@@ -251,6 +265,17 @@ let heap_order () =
   check_string "pop3" "c" (Heap.pop_min h);
   Alcotest.check_raises "empty pop" Not_found (fun () ->
       ignore (Heap.pop_min h))
+
+let heap_option_variants () =
+  let h = Heap.create () in
+  check_bool "min_elt_opt empty" true (Heap.min_elt_opt h = None);
+  check_bool "pop_min_opt empty" true (Heap.pop_min_opt h = None);
+  Heap.add h ~key:2 ~tie:0 "b";
+  Heap.add h ~key:1 ~tie:0 "a";
+  check_bool "min_elt_opt" true (Heap.min_elt_opt h = Some "a");
+  check_bool "pop_min_opt" true (Heap.pop_min_opt h = Some "a");
+  check_bool "pop_min_opt next" true (Heap.pop_min_opt h = Some "b");
+  check_bool "drained" true (Heap.pop_min_opt h = None)
 
 let heap_tie_stability () =
   let h = Heap.create () in
@@ -516,11 +541,13 @@ let () =
         [
           Alcotest.test_case "basics" `Quick deque_basics;
           Alcotest.test_case "wraparound" `Quick deque_wraparound;
+          Alcotest.test_case "option variants" `Quick deque_option_variants;
           q prop_deque_model;
         ] );
       ( "binheap",
         [
           Alcotest.test_case "order" `Quick heap_order;
+          Alcotest.test_case "option variants" `Quick heap_option_variants;
           Alcotest.test_case "tie stability" `Quick heap_tie_stability;
           q prop_heap_sorted_view;
           q prop_heap_matches_sort;
