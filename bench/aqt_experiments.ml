@@ -29,7 +29,7 @@ module Rb = Aqt_harness.Registry.Rb
 
 let notef rb fmt = Printf.ksprintf (Rb.note rb) fmt
 
-let run_phase net phase =
+let run_phase ?recorder net phase =
   let duration = ref 0 in
   let wrapped : Phased.phase =
    fun net t ->
@@ -38,8 +38,8 @@ let run_phase net phase =
     (d, dur)
   in
   let driver = Phased.sequence [ wrapped ] in
-  ignore (Sim.run ~net ~driver ~horizon:1 ());
-  ignore (Sim.run ~net ~driver ~horizon:(!duration - 1) ());
+  ignore (Sim.run ?recorder ~net ~driver ~horizon:1 ());
+  ignore (Sim.run ?recorder ~net ~driver ~horizon:(!duration - 1) ());
   !duration
 
 let seeded_net params ~m ~seed =
@@ -175,9 +175,21 @@ let lemma_3_6_pump rb =
         let params = Aqt.Params.make ~eps ~s0 () in
         let seed = (2 * s0) + 2 in
         let net, g = seeded_net params ~m:3 ~seed in
-        ignore (run_phase net (Aqt.Startup.phase ~params ~gadget:g));
+        (* Sample the largest arm so the journal carries the startup+pump
+           trajectory the report plots. *)
+        let recorder =
+          if s0 = 1600 then Some (Recorder.make ~every:50 ()) else None
+        in
+        ignore (run_phase ?recorder net (Aqt.Startup.phase ~params ~gadget:g));
         let s1 = (I.measure net g ~k:1).s_ingress in
-        ignore (run_phase net (Aqt.Pump.phase ~params ~gadget:g ~k:1));
+        ignore
+          (run_phase ?recorder net (Aqt.Pump.phase ~params ~gadget:g ~k:1));
+        (match recorder with
+        | Some r ->
+            Rb.trajectory rb (Recorder.to_rows r);
+            Rb.metric rb "max_queue"
+              (float_of_int (Network.max_queue_ever net))
+        | None -> ());
         let m2 = I.measure net g ~k:2 in
         let left = I.measure net g ~k:1 in
         [
@@ -400,7 +412,7 @@ let thm_4_3_time_priority rb =
       (* Sample the first (FIFO) run so the campaign journal carries a
          trajectory of a certified-stable workload. *)
       let recorder =
-        if i = 0 then Some (Recorder.make ~every:500 ()) else None
+        if i = 0 then Some (Recorder.make ~every:100 ()) else None
       in
       ignore (Sim.run ?recorder ~net ~driver:adv.driver ~horizon:12_100 ());
       (match recorder with
@@ -1362,6 +1374,7 @@ let build () =
       ("eps", Spec.Ratio (1, 5));
       ("s0s", ilist [ 200; 400; 800; 1600 ]);
       ("m", Spec.Int 3);
+      ("trajectory_every", Spec.Int 50);
     ]
     lemma_3_6_pump;
   reg "e3" "Lemma 3.15 - startup establishes C(S', F(1))" ~tags:[ "lemma" ]
@@ -1394,7 +1407,12 @@ let build () =
     thm_4_1_greedy;
   reg "e7" "Theorem 4.3 - time-priority protocols at the sharper r <= 1/d"
     ~tags:[ "theorem" ]
-    [ ("d", Spec.Int 5); ("w", Spec.Int 60); ("horizon", Spec.Int 12_000) ]
+    [
+      ("d", Spec.Int 5);
+      ("w", Spec.Int 60);
+      ("horizon", Spec.Int 12_000);
+      ("trajectory_every", Spec.Int 100);
+    ]
     thm_4_3_time_priority;
   reg "e8" "Corollaries 4.5/4.6 - arbitrary initial configurations"
     ~tags:[ "theorem" ]

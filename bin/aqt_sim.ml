@@ -735,6 +735,73 @@ let campaign_cmd =
     [ run_cmd; status_cmd; clean_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* report: regenerate docs/report from the campaign cache              *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let module Campaign = Aqt_harness.Campaign in
+  let module Report = Aqt_report.Report in
+  let out_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat "docs" "report")
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for SVGs + index.md.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string Campaign.default_options.dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Campaign state directory (cache + journals).")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:"Comma-separated figure ids (default: all; see --list).")
+  in
+  let bench_csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-csv" ] ~docv:"FILE"
+          ~doc:"Microbenchmark CSV for the bench figure (default: \
+                bench_results/b_microbench.csv).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List figure ids and exit (nothing is run).")
+  in
+  let run out dir only bench_csv list =
+    if list then
+      List.iter
+        (fun (f : Report.figure) -> Printf.printf "%-14s %s\n" f.id f.title)
+        (Report.default_figures ())
+    else begin
+      let options = { Campaign.default_options with dir; quiet = true } in
+      match
+        Report.generate ?bench_csv ~only ~registry:(Aqt_experiments.registry ())
+          ~options ~out ()
+      with
+      | paths ->
+          Printf.printf "wrote %d file(s) under %s\n" (List.length paths) out
+      | exception Failure msg ->
+          Printf.eprintf "aqt_sim report: %s\n" msg;
+          exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Regenerate the experiment report (docs/report): deterministic SVG \
+          figures from the campaign cache, inline seeded simulations and the \
+          committed bench CSV, plus a Markdown index.  Byte-identical across \
+          runs; CI diffs the output against the committed copy.")
+    Term.(const run $ out_arg $ dir_arg $ only_arg $ bench_csv_arg $ list_arg)
+
+(* ------------------------------------------------------------------ *)
 (* bench-gate: compare a microbenchmark CSV against a baseline         *)
 (* ------------------------------------------------------------------ *)
 
@@ -858,5 +925,5 @@ let () =
           [
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
-            spacetime_cmd; campaign_cmd; bench_gate_cmd;
+            spacetime_cmd; campaign_cmd; report_cmd; bench_gate_cmd;
           ]))

@@ -26,6 +26,22 @@ let driver_wrap t (driver : Sim.driver) : Sim.driver =
     injections_at = driver.injections_at;
   }
 
+let n_samples t = Dyn.length t.samples
+let every t = t.every
+
+let labels t =
+  let graph = Network.graph t.net in
+  Array.init (Digraph.n_edges graph) (Digraph.label graph)
+
+let matrix t =
+  let samples = Dyn.to_array t.samples in
+  let n = Array.length samples in
+  let m = Digraph.n_edges (Network.graph t.net) in
+  Array.init m (fun e ->
+      Array.init n (fun s ->
+          let row = samples.(s) in
+          if e < Array.length row then float_of_int row.(e) else 0.0))
+
 let glyphs = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
 
 let render ?(max_rows = 64) t =

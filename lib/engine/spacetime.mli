@@ -18,6 +18,29 @@ val driver_wrap : t -> Sim.driver -> Sim.driver
 (** A driver that behaves like the argument but records a sample before
     every step. *)
 
+(** {2 Raw access}
+
+    For renderers that draw the samples themselves (the SVG report uses
+    these to build a real heatmap out of the same observations the text
+    view shows). *)
+
+val n_samples : t -> int
+(** Observations recorded so far. *)
+
+val every : t -> int
+(** The sampling stride this recorder was created with; sample [i] was
+    taken at simulator time [i * every] when driven by {!driver_wrap}
+    from time 0. *)
+
+val labels : t -> string array
+(** Edge labels in edge-id order — row headers for {!matrix}. *)
+
+val matrix : t -> float array array
+(** [matrix t].(e).(s) is the buffer length of edge [e] at sample [s]
+    (as a float, ready for plotting).  One row per edge of the network,
+    one column per observation; rows are empty when nothing was
+    observed. *)
+
 val render : ?max_rows:int -> t -> string
 (** Heat map with one row per edge (edge label as the row header), glyphs
     scaled to the maximum observed queue: ['.' ':' '-' '=' '+' '*' '#' '@'].

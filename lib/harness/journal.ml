@@ -212,6 +212,30 @@ let close w = close_out_noerr w.oc
 (* Reader                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let files ~dir =
+  let jd = Filename.concat dir "journal" in
+  if Sys.file_exists jd && Sys.is_directory jd then
+    Sys.readdir jd |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+    |> List.map (Filename.concat jd)
+  else []
+
+let latest ~dir =
+  match List.rev (files ~dir) with [] -> None | f :: _ -> Some f
+
+let final_trajectories events =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (function
+      | Task_finish { name; trajectory; _ } when trajectory <> [] ->
+          if not (Hashtbl.mem tbl name) then order := name :: !order;
+          Hashtbl.replace tbl name trajectory
+      | _ -> ())
+    events;
+  List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order
+
 let load path =
   let ic = open_in path in
   Fun.protect

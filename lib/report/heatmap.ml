@@ -1,0 +1,204 @@
+let transform ~log_scale v = if log_scale then Float.log1p v else v
+
+let render ?(w = 720.0) ?(log_scale = false) ?annot ?x_label ?y_label ~title
+    ~rows ~cols m =
+  let open Svg in
+  let n_rows = List.length rows and n_cols = List.length cols in
+  let label_w = 110.0 in
+  let margin_t = 56.0 in
+  let margin_b = 40.0 +. (match x_label with Some _ -> 14.0 | None -> 0.0) in
+  let margin_l = label_w +. (match y_label with Some _ -> 16.0 | None -> 0.0) in
+  let cell_w =
+    if n_cols = 0 then 0.0
+    else
+      Float.max 6.0
+        (Float.min 42.0 ((w -. margin_l -. 18.0) /. float_of_int n_cols))
+  in
+  let cell_h = Float.max 14.0 (Float.min 30.0 cell_w) in
+  let w = margin_l +. (cell_w *. float_of_int n_cols) +. 18.0 in
+  let h = margin_t +. (cell_h *. float_of_int n_rows) +. margin_b in
+  (* Normalize over all finite entries. *)
+  let vmin = ref Float.infinity and vmax = ref Float.neg_infinity in
+  Array.iter
+    (Array.iter (fun v ->
+         if Float.is_finite v then begin
+           let v = transform ~log_scale v in
+           if v < !vmin then vmin := v;
+           if v > !vmax then vmax := v
+         end))
+    m;
+  let vmin = if Float.is_finite !vmin then !vmin else 0.0 in
+  let vmax = if Float.is_finite !vmax && !vmax > vmin then !vmax else vmin +. 1.0 in
+  let norm v =
+    if not (Float.is_finite v) then 0.0
+    else (transform ~log_scale v -. vmin) /. (vmax -. vmin)
+  in
+  let cell r c =
+    if r >= Array.length m || c >= Array.length m.(r) then None
+    else Some m.(r).(c)
+  in
+  let x_of c = margin_l +. (cell_w *. float_of_int c) in
+  let y_of r = margin_t +. (cell_h *. float_of_int r) in
+  let cells = ref [] in
+  for r = n_rows - 1 downto 0 do
+    for c = n_cols - 1 downto 0 do
+      match cell r c with
+      | None -> ()
+      (* A minimum-value cell renders as the chart surface — invisible —
+         so unless it carries an annotation there is nothing to emit.
+         Dense mostly-empty matrices (spacetime) shrink a lot. *)
+      | Some v
+        when norm v = 0.0
+             && (match annot with
+                | None -> true
+                | Some a ->
+                    r >= Array.length a
+                    || c >= Array.length a.(r)
+                    || a.(r).(c) = None) ->
+          ()
+      | Some v ->
+          let t = norm v in
+          let fill = sequential t in
+          let base =
+            rect ~x:(x_of c) ~y:(y_of r) ~w:cell_w ~h:cell_h
+              ~attrs:[ ("fill", fill) ] ()
+          in
+          let note =
+            match annot with
+            | None -> []
+            | Some a ->
+                if r >= Array.length a || c >= Array.length a.(r) then []
+                else begin
+                  match a.(r).(c) with
+                  | None -> []
+                  | Some s ->
+                      (* Ink flips once the cell is dark enough; the
+                         threshold is on the normalized value, so the
+                         choice is deterministic. *)
+                      let ink = if t > 0.55 then surface else text_primary in
+                      [
+                        text_at
+                          ~x:(x_of c +. (cell_w /. 2.0))
+                          ~y:(y_of r +. (cell_h /. 2.0) +. 3.0)
+                          ~attrs:
+                            [
+                              ("text-anchor", "middle"); ("font-size", "9");
+                              ("fill", ink); ("stroke", "none");
+                            ]
+                          s;
+                      ]
+                end
+          in
+          cells := (base :: note) @ !cells
+    done
+  done;
+  let row_labels =
+    List.concat
+      (List.mapi
+         (fun r name ->
+           [
+             text_at ~x:(margin_l -. 8.0)
+               ~y:(y_of r +. (cell_h /. 2.0) +. 3.5)
+               ~attrs:
+                 [
+                   ("text-anchor", "end"); ("font-size", "10");
+                   ("fill", text_primary);
+                 ]
+               name;
+           ])
+         rows)
+  in
+  (* Downsample dense column axes to at most 12 labels. *)
+  let col_stride = max 1 ((n_cols + 11) / 12) in
+  let col_labels =
+    List.concat
+      (List.mapi
+         (fun c name ->
+           if c mod col_stride <> 0 then []
+           else
+             [
+               text_at
+                 ~x:(x_of c +. (cell_w /. 2.0))
+                 ~y:(margin_t +. (cell_h *. float_of_int n_rows) +. 14.0)
+                 ~attrs:
+                   [
+                     ("text-anchor", "middle"); ("font-size", "9");
+                     ("fill", text_secondary);
+                   ]
+                 name;
+             ])
+         cols)
+  in
+  (* Color-bar legend: a strip of the ramp with min/max value labels. *)
+  let bar_x = w -. 178.0 and bar_y = 30.0 and bar_w = 100.0 and bar_h = 10.0 in
+  let bar_steps = 20 in
+  let bar =
+    List.init bar_steps (fun i ->
+        let t = float_of_int i /. float_of_int (bar_steps - 1) in
+        rect
+          ~x:(bar_x +. (bar_w *. float_of_int i /. float_of_int bar_steps))
+          ~y:bar_y
+          ~w:(bar_w /. float_of_int bar_steps +. 0.5)
+          ~h:bar_h
+          ~attrs:[ ("fill", sequential t) ]
+          ())
+    @ [
+        text_at ~x:(bar_x -. 5.0) ~y:(bar_y +. 9.0)
+          ~attrs:
+            [
+              ("text-anchor", "end"); ("font-size", "9");
+              ("fill", text_secondary);
+            ]
+          (Svg.f (if log_scale then Float.expm1 vmin else vmin));
+        text_at ~x:(bar_x +. bar_w +. 5.0) ~y:(bar_y +. 9.0)
+          ~attrs:[ ("font-size", "9"); ("fill", text_secondary) ]
+          ((Svg.f (if log_scale then Float.expm1 vmax else vmax))
+          ^ if log_scale then " (log)" else "");
+      ]
+  in
+  let axis_titles =
+    (match x_label with
+    | Some l ->
+        [
+          text_at
+            ~x:(margin_l +. (cell_w *. float_of_int n_cols /. 2.0))
+            ~y:(h -. 10.0)
+            ~attrs:
+              [
+                ("text-anchor", "middle"); ("font-size", "11");
+                ("fill", text_secondary);
+              ]
+            l;
+        ]
+    | None -> [])
+    @
+    match y_label with
+    | Some l ->
+        let cy = margin_t +. (cell_h *. float_of_int n_rows /. 2.0) in
+        [
+          text_at ~x:14.0 ~y:cy
+            ~attrs:
+              [
+                ("text-anchor", "middle"); ("font-size", "11");
+                ("fill", text_secondary);
+                ( "transform",
+                  Printf.sprintf "rotate(-90 %s %s)" (Svg.f 14.0) (Svg.f cy) );
+              ]
+            l;
+        ]
+    | None -> []
+  in
+  document ~w ~h ~title
+    (text_at ~x:(margin_l) ~y:22.0
+       ~attrs:
+         [
+           ("font-size", "14"); ("fill", text_primary);
+           ("font-weight", "bold");
+         ]
+       title
+    (* The 1px surface-colored stroke puts a hairline gap between cells;
+       hoisted onto the group so dense matrices stay small. *)
+    :: group
+         ~attrs:[ ("stroke", surface); ("stroke-width", "1") ]
+         !cells
+    :: (row_labels @ col_labels @ bar @ axis_titles))

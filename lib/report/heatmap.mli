@@ -1,0 +1,32 @@
+(** Matrix heatmaps (rows x columns) as deterministic SVG.
+
+    Used for the spacetime view (edges x time, cell = buffer length) and
+    the stability sweep (policies x injection rates, cell = max queue).
+    Color is the single blue sequential ramp of {!Svg.sequential}; the
+    lightest value recedes into the chart surface, so zero cells read as
+    "nothing here". *)
+
+val render :
+  ?w:float ->
+  ?log_scale:bool ->
+  ?annot:string option array array ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  rows:string list ->
+  cols:string list ->
+  float array array ->
+  string
+(** [render ~title ~rows ~cols m] draws [m] (indexed [m.(row).(col)];
+    ragged or empty rows are tolerated, missing cells render as the
+    surface) with row labels on the left and column labels below.
+    Minimum-value cells are not emitted at all (they would render as the
+    surface), which keeps dense mostly-empty matrices small.
+    Column labels are downsampled to at most 12 so dense time axes stay
+    legible.  Values are normalized over the finite entries of the whole
+    matrix; [log_scale] (default [false]) compresses via [log1p], for
+    quantities like queue sizes that span orders of magnitude.  [annot]
+    optionally overlays a short text on a cell (e.g. a verdict letter);
+    annotation ink flips light/dark with the cell color, chosen by the
+    same deterministic rule on every run.  A min/max color-bar legend is
+    drawn above the matrix. *)

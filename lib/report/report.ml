@@ -1,0 +1,594 @@
+module Ratio = Aqt_util.Ratio
+module Registry = Aqt_harness.Registry
+module Campaign = Aqt_harness.Campaign
+module Journal = Aqt_harness.Journal
+module Scheduler = Aqt_harness.Scheduler
+module D = Aqt_graph.Digraph
+module Build = Aqt_graph.Build
+module Network = Aqt_engine.Network
+module Sim = Aqt_engine.Sim
+module Spacetime = Aqt_engine.Spacetime
+module Phased = Aqt_adversary.Phased
+module Stock = Aqt_adversary.Stock
+module Policies = Aqt_policy.Policies
+module G = Aqt.Gadget
+
+type ctx = {
+  results : (string * Registry.result) list;
+  trajectories : (string * (string * float) list list) list;
+  bench : (string * float) list;
+}
+
+type figure = {
+  id : string;
+  title : string;
+  caption : string;
+  experiments : string list;
+  render : ctx -> string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Data access                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let find_table ctx ~experiment ~id =
+  match List.assoc_opt experiment ctx.results with
+  | None -> None
+  | Some r ->
+      List.find_map
+        (function
+          | Registry.Table t when t.Registry.id = id -> Some t
+          | _ -> None)
+        r.Registry.items
+
+(* Table cells are display strings; parse the shapes the experiment
+   tables actually use: ints, floats, "a/b" ratios, "1.85x" growth
+   factors, booleans.  Anything else becomes nan and the plot layer
+   drops it. *)
+let cell_float s =
+  let s = String.trim s in
+  let s =
+    let l = String.length s in
+    if l > 1 && s.[l - 1] = 'x' then String.sub s 0 (l - 1) else s
+  in
+  match String.index_opt s '/' with
+  | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 0 i),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some a, Some b when b <> 0 -> float_of_int a /. float_of_int b
+      | _ -> Float.nan)
+  | None -> (
+      match s with
+      | "true" -> 1.0
+      | "false" -> 0.0
+      | _ -> Option.value (float_of_string_opt s) ~default:Float.nan)
+
+let header_index (t : Registry.table) name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | h :: _ when h = name -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 t.Registry.headers
+
+let column_s (t : Registry.table) name =
+  let i = header_index t name in
+  Array.of_list
+    (List.map (fun row -> try List.nth row i with _ -> "") t.Registry.rows)
+
+let column t name = Array.map cell_float (column_s t name)
+
+let trajectory_points rows ~x ~y =
+  Array.of_seq
+    (Seq.filter_map
+       (fun row ->
+         match (List.assoc_opt x row, List.assoc_opt y row) with
+         | Some xv, Some yv -> Some (xv, yv)
+         | _ -> None)
+       (List.to_seq rows))
+
+let trajectory ctx experiment =
+  Option.value (List.assoc_opt experiment ctx.trajectories) ~default:[]
+
+(* ------------------------------------------------------------------ *)
+(* Figure renders                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Edge classes of a gadget graph, by label: e-paths carry the slow old
+   flow, f-paths the fat extension, a_k are the shared edges, e0 is the
+   cyclic stitch. *)
+let gadget_edge_color (e : D.edge) =
+  if e.D.label = "e0" then Svg.series_color 7
+  else
+    match if e.D.label = "" then ' ' else e.D.label.[0] with
+    | 'e' -> Svg.series_color 0
+    | 'f' -> Svg.series_color 1
+    | _ -> Svg.text_primary
+
+let gadget_legend ~cyclic =
+  [
+    (Svg.series_color 0, "e-path");
+    (Svg.series_color 1, "f-path");
+    (Svg.text_primary, "shared a_k");
+  ]
+  @ if cyclic then [ (Svg.series_color 7, "stitch e0") ] else []
+
+let render_fig_3_1 _ =
+  let g = G.chain ~n:4 ~m:2 () in
+  Layout.render ~edge_color:gadget_edge_color ~legend:(gadget_legend ~cyclic:false)
+    ~title:"Figure 3.1 - the gadget chain F(4)^2" g.G.graph
+
+let render_fig_3_2 _ =
+  let g = G.cyclic ~n:4 ~m:4 () in
+  Layout.render ~edge_color:gadget_edge_color ~legend:(gadget_legend ~cyclic:true)
+    ~node_labels:false ~title:"Figure 3.2 - the cyclic chain F(4)^4 + e0"
+    g.G.graph
+
+let render_e1_growth ctx =
+  let title = "Theorem 3.17 - seed queue at the start of each cycle" in
+  match find_table ctx ~experiment:"e1" ~id:"e1_thm_3_17" with
+  | None -> Plot.render ~title []
+  | Some t ->
+      let eps = column_s t "eps" in
+      let cycle = column t "cycle" and seed = column t "seed" in
+      let groups = ref [] in
+      Array.iteri
+        (fun i e ->
+          let pt = (cycle.(i), seed.(i)) in
+          match List.assoc_opt e !groups with
+          | Some pts -> pts := pt :: !pts
+          | None -> groups := (e, ref [ pt ]) :: !groups)
+        eps;
+      let series =
+        List.rev_map
+          (fun (e, pts) ->
+            Plot.series ("eps=" ^ e) (Array.of_list (List.rev !pts)))
+          !groups
+      in
+      Plot.render ~x_label:"cycle" ~y_label:"seed queue (packets)" ~title
+        series
+
+let render_e2_pump ctx =
+  let title = "Lemma 3.6 - pump growth, measured vs predicted" in
+  match find_table ctx ~experiment:"e2" ~id:"e2_lemma_3_6" with
+  | None -> Plot.render ~title []
+  | Some t ->
+      let s = column t "S before" in
+      let measured = column t "measured S'/S" in
+      let predicted = column t "predicted 2(1-R_n)" in
+      let zip ys = Array.map2 (fun x y -> (x, y)) s ys in
+      Plot.render ~x_label:"S (packets before the pump)"
+        ~y_label:"growth factor S'/S" ~title
+        [
+          Plot.series "measured" (zip measured);
+          Plot.series "predicted 2(1-R_n)" (zip predicted);
+        ]
+
+let render_trajectory ~experiment ~title ctx =
+  let rows = trajectory ctx experiment in
+  Plot.render ~x_label:"step" ~y_label:"packets" ~title
+    [
+      Plot.series ~step:true "in flight"
+        (trajectory_points rows ~x:"t" ~y:"in_flight");
+      Plot.series ~step:true "max queue"
+        (trajectory_points rows ~x:"t" ~y:"max_queue");
+    ]
+
+let render_fluid_pump _ =
+  let r = 0.7 and n = 9 and total_old = 2000 in
+  let p = Aqt.Fluid.pump_profile ~r ~n ~total_old in
+  let dur = float_of_int p.Aqt.Fluid.duration in
+  let samples = 200 in
+  let series_for i =
+    Plot.series
+      (Printf.sprintf "buffer e'_%d" i)
+      (Array.init (samples + 1) (fun j ->
+           let t = dur *. float_of_int j /. float_of_int samples in
+           (t, Aqt.Fluid.queue_at p ~i ~t)))
+  in
+  Plot.render ~x_label:"time since phase start" ~y_label:"fluid queue size"
+    ~title:"Claims 3.9-3.11 - fluid buffer trajectories during one pump"
+    (List.map series_for [ 1; 3; 5; 7; 9 ])
+
+let sweep_rates =
+  [
+    Ratio.make 1 8;
+    Ratio.make 1 4;
+    Ratio.make 1 2;
+    Ratio.make 3 4;
+    Ratio.make 7 8;
+    Ratio.make 19 20;
+  ]
+
+let render_sweep _ =
+  let k = 8 and d = 4 and horizon = 4_000 in
+  let w = 40 in
+  let ring = Build.ring k in
+  let graph = ring.Build.graph in
+  let routes =
+    List.init k (fun i ->
+        Array.init d (fun j -> ring.Build.edges.((i + j) mod k)))
+  in
+  let route_table = Aqt_engine.Route_intern.create () in
+  let policies = Policies.all_deterministic in
+  let matrix =
+    Array.of_list
+      (List.map
+         (fun policy ->
+           Array.of_list
+             (List.map
+                (fun rate ->
+                  (* d routes cross every edge, so the legal per-route
+                     rate divides by the overlap (as in experiment e15);
+                     packed bursts make the (w, r) pressure visible. *)
+                  let per_route = Ratio.div rate (Ratio.of_int d) in
+                  let adv =
+                    Stock.windowed_burst ~packed:true ~w ~rate:per_route
+                      ~routes ~horizon ()
+                  in
+                  let report =
+                    Aqt.Sweep.classify ~route_table ~name:"report-sweep" ~graph
+                      ~policy ~adversary:adv ~horizon ()
+                  in
+                  ( float_of_int report.Aqt.Sweep.max_queue,
+                    Aqt.Sweep.verdict_to_string report.Aqt.Sweep.verdict ))
+                sweep_rates))
+         policies)
+  in
+  let values = Array.map (Array.map fst) matrix in
+  let annot =
+    Array.map
+      (Array.map (fun (_, v) ->
+           Some (String.uppercase_ascii (String.sub v 0 1))))
+      matrix
+  in
+  Heatmap.render ~log_scale:true ~annot
+    ~x_label:"injection rate" ~y_label:"policy"
+    ~title:"Stability sweep - ring(8), d=4: max queue by policy and rate"
+    ~rows:(List.map (fun (p : Aqt_engine.Policy_type.t) -> p.name) policies)
+    ~cols:(List.map Ratio.to_string sweep_rates)
+    values
+
+let render_spacetime _ =
+  (* The `aqt_sim spacetime` scenario: small enough to read (and to
+     commit as SVG), big enough to show the pump moving the queue. *)
+  let eps = Ratio.make 1 5 in
+  let seed = 122 in
+  let params = Aqt.Params.make ~eps ~s0:(max 20 ((seed - 2) / 2)) () in
+  let g = G.cyclic ~n:params.Aqt.Params.n ~m:2 () in
+  let net = Network.create ~graph:g.G.graph ~policy:Policies.fifo () in
+  for _ = 1 to seed do
+    ignore (Network.place_initial ~tag:"seed" net (G.seed_route g))
+  done;
+  let st = Spacetime.make ~every:4 net in
+  let run_phase phase =
+    let duration = ref 0 in
+    let wrapped : Phased.phase =
+     fun net t ->
+      let d, dur = phase net t in
+      duration := dur;
+      (d, dur)
+    in
+    let driver = Spacetime.driver_wrap st (Phased.sequence [ wrapped ]) in
+    ignore (Sim.run ~net ~driver ~horizon:1 ());
+    ignore (Sim.run ~net ~driver ~horizon:(!duration - 1) ())
+  in
+  run_phase (Aqt.Startup.phase ~params ~gadget:g);
+  run_phase (Aqt.Pump.phase ~params ~gadget:g ~k:1);
+  let every = Spacetime.every st in
+  let matrix = Spacetime.matrix st in
+  let labels = Spacetime.labels st in
+  (* Keep the figure a sane size: stride columns down to <= 120 samples
+     and keep only the busiest <= 48 edges (back in edge-id order), the
+     same policy as the text renderer.  Both choices are pure functions
+     of the sampled data. *)
+  let n_samples = Spacetime.n_samples st in
+  let stride = max 1 ((n_samples + 119) / 120) in
+  let n_cols = (n_samples + stride - 1) / stride in
+  let peak = Array.map (Array.fold_left Float.max 0.0) matrix in
+  let order = Array.init (Array.length matrix) Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare peak.(b) peak.(a) with 0 -> compare a b | c -> c)
+    order;
+  let kept = Array.sub order 0 (min 48 (Array.length order)) in
+  Array.sort compare kept;
+  let rows =
+    Array.to_list (Array.map (fun e -> labels.(e)) kept)
+  in
+  let values =
+    Array.map
+      (fun e -> Array.init n_cols (fun c -> matrix.(e).(c * stride)))
+      kept
+  in
+  let cols =
+    List.init n_cols (fun i -> string_of_int (i * stride * every))
+  in
+  Heatmap.render ~log_scale:true
+    ~x_label:"step" ~y_label:"edge"
+    ~title:"Startup + one pump on F(n)^2 - queue occupancy over time"
+    ~rows ~cols values
+
+let render_bench ctx =
+  Plot.hbars ~log_x:true ~x_label:"ns per run"
+    ~title:"Engine microbenchmarks (committed bench_results CSV)" ctx.bench
+
+let default_figures () =
+  [
+    {
+      id = "fig_3_1";
+      title = "Figure 3.1 - the gadget";
+      caption =
+        "The gadget F(4)^2 as built by `Aqt.Gadget.chain ~n:4 ~m:2`: two \
+         gadgets joined at the shared edges a_k, each with a slow e-path \
+         and a parallel f-path from y_(k-1) to x_k.  The shared edge a_1 \
+         is both the egress of the first gadget and the ingress of the \
+         second, exactly as drawn in the paper.";
+      experiments = [];
+      render = render_fig_3_1;
+    };
+    {
+      id = "fig_3_2";
+      title = "Figure 3.2 - the cyclic chain";
+      caption =
+        "The cyclic chain F(4)^4 + e0 (`Aqt.Gadget.cyclic ~n:4 ~m:4`): the \
+         stitch edge e0 closes the daisy chain so Lemma 3.16 can convert \
+         the queue at the last egress back into seeds at the first \
+         ingress.  Node names elided; the arc below is e0.";
+      experiments = [];
+      render = render_fig_3_2;
+    };
+    {
+      id = "e1_growth";
+      title = "E1 - seed queue growth per cycle (Theorem 3.17)";
+      caption =
+        "Seed queue at the start of every adversary cycle, one series per \
+         epsilon, from campaign experiment `e1`.  Sustained growth at \
+         every rate 1/2 + epsilon is the instability theorem made \
+         visible: each cycle multiplies the seed queue by a constant \
+         factor > 1.";
+      experiments = [ "e1" ];
+      render = render_e1_growth;
+    };
+    {
+      id = "e2_pump";
+      title = "E2 - one pump multiplies the queue (Lemma 3.6)";
+      caption =
+        "Measured growth factor S'/S of a single pump phase against the \
+         paper's exact prediction 2(1-R_n), for increasing seed sizes S \
+         (campaign experiment `e2`).  The two curves coincide: the \
+         discrete simulation matches the fluid analysis point for point.";
+      experiments = [ "e2" ];
+      render = render_e2_pump;
+    };
+    {
+      id = "e2_trajectory";
+      title = "E2 - startup + pump trajectory";
+      caption =
+        "Sampled network state (every 50 steps) for the largest `e2` arm \
+         (S0 = 1600): total packets in flight and the largest single \
+         buffer while the startup phase establishes C(S, F(1)) and one \
+         pump moves the queue into the next gadget.";
+      experiments = [ "e2" ];
+      render =
+        (fun ctx ->
+          render_trajectory ~experiment:"e2"
+            ~title:"E2 startup + pump - sampled network state" ctx);
+    };
+    {
+      id = "e7_trajectory";
+      title = "E7 - a certified-stable workload (Theorem 4.3)";
+      caption =
+        "The FIFO run of campaign experiment `e7` (time-priority bound at \
+         r = 1/d), sampled every 100 steps: the in-flight population \
+         stays bounded for the whole horizon — stability, in contrast to \
+         the E1/E2 instability constructions above.";
+      experiments = [ "e7" ];
+      render =
+        (fun ctx ->
+          render_trajectory ~experiment:"e7"
+            ~title:"E7 time-priority workload - sampled network state" ctx);
+    };
+    {
+      id = "fluid_pump";
+      title = "Fluid pump profile (Claims 3.9-3.11)";
+      caption =
+        "The paper's piecewise-linear fluid trajectories for one pump \
+         (r = 0.7, n = 9, 2S = 2000), evaluated by `Aqt.Fluid.queue_at`: \
+         each e-path buffer fills at rate R_i + r - 1, peaks at i + t_i, \
+         and drains.  Experiment `e14` checks these curves against the \
+         discrete simulation.";
+      experiments = [];
+      render = render_fluid_pump;
+    };
+    {
+      id = "sweep_heatmap";
+      title = "Stability sweep - policy x rate";
+      caption =
+        "`Aqt.Sweep.classify` on the 8-ring with 4-hop routes under a \
+         packed (w, r) burst adversary (w = 40, horizon 4000): darker \
+         cells mean larger peak queues (log color scale); the letter is \
+         the verdict (S stable / G growing / B blowup).  The ring is \
+         universally stable — every verdict stays S — but peak queues \
+         climb steadily as the rate approaches saturation.";
+      experiments = [];
+      render = render_sweep;
+    };
+    {
+      id = "spacetime";
+      title = "Spacetime - startup + pump, queue occupancy";
+      caption =
+        "Every edge of a 2-gadget cyclic chain (eps = 1/5, seeded with \
+         122 packets — the `aqt_sim spacetime` scenario), sampled every \
+         4 steps through `Aqt_engine.Spacetime`: the seed queue drains \
+         through the e-path while the pump re-concentrates it at the \
+         next ingress — the paper's construction as a picture.";
+      experiments = [];
+      render = render_spacetime;
+    };
+    {
+      id = "bench";
+      title = "Engine microbenchmarks";
+      caption =
+        "ns per run for the engine microbenchmarks, read from the \
+         committed `bench_results/b_microbench.csv` (regenerated by \
+         `dune exec bench/main.exe -- bench`; gated against regression \
+         by `aqt_sim bench-gate`).  Log scale.";
+      experiments = [];
+      render = render_bench;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let dedup names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let index_md ~registry figures =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# Experiment report\n\n";
+  Buffer.add_string buf
+    "Deterministic figures generated from the campaign cache and seeded\n\
+     inline simulations.  Regenerate (byte-identical) with:\n\n\
+     ```\n\
+     dune exec bin/aqt_sim.exe -- report\n\
+     ```\n\n\
+     Do not edit this directory by hand - CI regenerates it and fails on\n\
+     drift (see docs/REPORT.md).\n";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Printf.sprintf "\n## %s\n\n" f.title);
+      Buffer.add_string buf
+        (Printf.sprintf "![%s](%s.svg)\n\n" f.title f.id);
+      Buffer.add_string buf f.caption;
+      Buffer.add_char buf '\n';
+      (match f.experiments with
+      | [] ->
+          Buffer.add_string buf
+            "\n*Data:* inline seeded simulation (no campaign dependency).\n"
+      | exps ->
+          Buffer.add_string buf
+            (Printf.sprintf "\n*Data:* campaign experiment%s %s.\n"
+               (if List.length exps > 1 then "s" else "")
+               (String.concat ", "
+                  (List.map
+                     (fun e ->
+                       match Registry.find registry e with
+                       | Some entry ->
+                           Printf.sprintf "`%s` (%s)" e entry.Registry.title
+                       | None -> Printf.sprintf "`%s`" e)
+                     exps)))))
+    figures;
+  Buffer.contents buf
+
+let generate ?figures ?only
+    ?(bench_csv = Filename.concat "bench_results" "b_microbench.csv")
+    ~registry ~options ~out () =
+  let figures =
+    match figures with Some fs -> fs | None -> default_figures ()
+  in
+  let figures =
+    match only with
+    | None | Some [] -> figures
+    | Some ids ->
+        List.map
+          (fun id ->
+            match List.find_opt (fun f -> f.id = id) figures with
+            | Some f -> f
+            | None ->
+                failwith
+                  (Printf.sprintf "report: unknown figure %S (known: %s)" id
+                     (String.concat ", " (List.map (fun f -> f.id) figures))))
+          ids
+  in
+  let needed = dedup (List.concat_map (fun f -> f.experiments) figures) in
+  let results, trajectories =
+    if needed = [] then ([], [])
+    else begin
+      let summary =
+        Campaign.run ~registry
+          { options with Campaign.only = needed; quiet = true }
+      in
+      let results =
+        List.filter_map
+          (fun (tr : Scheduler.task_result) ->
+            Option.map (fun r -> (tr.Scheduler.name, r)) tr.Scheduler.result)
+          summary.Campaign.results
+      in
+      let from_journal =
+        match
+          try Some (Journal.load summary.Campaign.journal_file)
+          with _ -> None
+        with
+        | Some events -> Journal.final_trajectories events
+        | None -> []
+      in
+      let trajectories =
+        List.map
+          (fun (name, (r : Registry.result)) ->
+            match List.assoc_opt name from_journal with
+            | Some t -> (name, t)
+            | None -> (name, r.Registry.trajectory))
+          results
+      in
+      (results, trajectories)
+    end
+  in
+  let bench =
+    if not (Sys.file_exists bench_csv) then []
+    else begin
+      let ic = open_in bench_csv in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> (
+                match String.split_on_char ',' line with
+                | name :: value :: _ when name <> "benchmark" -> (
+                    match float_of_string_opt (String.trim value) with
+                    | Some v -> go ((name, v) :: acc)
+                    | None -> go acc)
+                | _ -> go acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    end
+  in
+  let ctx = { results; trajectories; bench } in
+  mkdir_p out;
+  let paths =
+    List.map
+      (fun f ->
+        let path = Filename.concat out (f.id ^ ".svg") in
+        write_file path (f.render ctx);
+        path)
+      figures
+  in
+  let index = Filename.concat out "index.md" in
+  write_file index (index_md ~registry figures);
+  index :: paths

@@ -1,0 +1,157 @@
+type t = El of string * (string * string) list * t list | Text of string
+
+(* Fixed-precision, trimmed formatting: the single chokepoint for numbers
+   so that regenerated figures are byte-identical.  "%.2f" of a finite
+   double is deterministic; trimming is pure string surgery. *)
+let f x =
+  if not (Float.is_finite x) then "0"
+  else begin
+    let s = Printf.sprintf "%.2f" x in
+    let s =
+      if String.contains s '.' then begin
+        let n = ref (String.length s) in
+        while !n > 0 && s.[!n - 1] = '0' do
+          decr n
+        done;
+        if !n > 0 && s.[!n - 1] = '.' then decr n;
+        String.sub s 0 !n
+      end
+      else s
+    in
+    if s = "-0" then "0" else s
+  end
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let el tag attrs children = El (tag, attrs, children)
+let text s = Text s
+
+let line ?(attrs = []) ~x1 ~y1 ~x2 ~y2 () =
+  el "line"
+    ([ ("x1", f x1); ("y1", f y1); ("x2", f x2); ("y2", f y2) ] @ attrs)
+    []
+
+let rect ?(attrs = []) ~x ~y ~w ~h () =
+  el "rect" ([ ("x", f x); ("y", f y); ("width", f w); ("height", f h) ] @ attrs) []
+
+let circle ?(attrs = []) ~cx ~cy ~r () =
+  el "circle" ([ ("cx", f cx); ("cy", f cy); ("r", f r) ] @ attrs) []
+
+let polyline ?(attrs = []) pts =
+  let d =
+    String.concat " " (List.map (fun (x, y) -> f x ^ "," ^ f y) pts)
+  in
+  el "polyline" ([ ("points", d); ("fill", "none") ] @ attrs) []
+
+let path ?(attrs = []) d = el "path" (("d", d) :: attrs) []
+let text_at ?(attrs = []) ~x ~y s = el "text" ([ ("x", f x); ("y", f y) ] @ attrs) [ text s ]
+let group ?(attrs = []) children = el "g" attrs children
+
+let rec render buf = function
+  | Text s -> Buffer.add_string buf (escape s)
+  | El (tag, attrs, children) ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape v);
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (render buf) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      end
+
+(* Light-mode palette (validated set; see docs/REPORT.md). *)
+let surface = "#fcfcfb"
+let text_primary = "#0b0b0b"
+let text_secondary = "#52514e"
+let grid_color = "#e8e7e3"
+let axis_color = "#b3b2ac"
+
+let categorical =
+  [|
+    "#2a78d6" (* blue *);
+    "#eb6834" (* orange *);
+    "#1baf7a" (* aqua *);
+    "#eda100" (* yellow *);
+    "#e87ba4" (* magenta *);
+    "#008300" (* green *);
+    "#4a3aa7" (* violet *);
+    "#e34948" (* red *);
+  |]
+
+let series_color i =
+  if i < 0 then categorical.(0)
+  else categorical.(min i (Array.length categorical - 1))
+
+(* Blue sequential ramp, steps 100..700, with the surface prepended so
+   that value 0 recedes into the background. *)
+let ramp =
+  [|
+    (0xfc, 0xfc, 0xfb);
+    (0xcd, 0xe2, 0xfb);
+    (0xb7, 0xd3, 0xf6);
+    (0x9e, 0xc5, 0xf4);
+    (0x86, 0xb6, 0xef);
+    (0x6d, 0xa7, 0xec);
+    (0x55, 0x98, 0xe7);
+    (0x39, 0x87, 0xe5);
+    (0x2a, 0x78, 0xd6);
+    (0x25, 0x6a, 0xbf);
+    (0x1c, 0x5c, 0xab);
+    (0x18, 0x4f, 0x95);
+    (0x10, 0x42, 0x81);
+    (0x0d, 0x36, 0x6b);
+  |]
+
+let sequential v =
+  let v = if Float.is_finite v then Float.max 0.0 (Float.min 1.0 v) else 0.0 in
+  let n = Array.length ramp - 1 in
+  let pos = v *. float_of_int n in
+  let i = int_of_float (Float.floor pos) in
+  let i = min i (n - 1) in
+  let t = pos -. float_of_int i in
+  let r0, g0, b0 = ramp.(i) and r1, g1, b1 = ramp.(i + 1) in
+  (* Round through integers: identical on every platform. *)
+  let mix a b =
+    a + int_of_float (Float.round (t *. float_of_int (b - a)))
+  in
+  Printf.sprintf "#%02x%02x%02x" (mix r0 r1) (mix g0 g1) (mix b0 b1)
+
+let document ~w ~h ?title children =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %s %s\" \
+        width=\"%s\" height=\"%s\" font-family=\"Helvetica, Arial, \
+        sans-serif\">"
+       (f w) (f h) (f w) (f h));
+  (match title with
+  | Some t -> render buf (el "title" [] [ text t ])
+  | None -> ());
+  render buf
+    (rect ~x:0.0 ~y:0.0 ~w ~h ~attrs:[ ("fill", surface) ] ());
+  List.iter (render buf) children;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** Deterministic SVG emission.
+
+    The report subsystem commits its figures to the repository and CI
+    regenerates them and fails on drift, so rendering must be a pure
+    function of the input data: no timestamps, no locale-dependent
+    formatting, no hash-order iteration.  This module is the only place
+    that turns numbers into SVG text — every coordinate and length goes
+    through {!f}, which formats with a fixed precision and a fixed
+    trimming rule, so two runs over the same data emit identical bytes. *)
+
+type t
+(** An SVG fragment (element tree). *)
+
+val f : float -> string
+(** Deterministic number formatting: two decimals, trailing zeros (and a
+    trailing dot) trimmed, [-0] normalized to [0].  Non-finite values
+    render as ["0"] so malformed data can never emit an attribute SVG
+    parsers reject; callers that care filter non-finite points first. *)
+
+val el : string -> (string * string) list -> t list -> t
+(** [el tag attrs children] — attributes are emitted in the given order;
+    values are XML-escaped. *)
+
+val text : string -> t
+(** Character data (XML-escaped). *)
+
+(** {2 Shape helpers}
+
+    Thin wrappers over {!el}; [attrs] is appended after the geometric
+    attributes, so callers can add [stroke], [fill], [class], … *)
+
+val line :
+  ?attrs:(string * string) list ->
+  x1:float -> y1:float -> x2:float -> y2:float -> unit -> t
+
+val rect :
+  ?attrs:(string * string) list ->
+  x:float -> y:float -> w:float -> h:float -> unit -> t
+
+val circle :
+  ?attrs:(string * string) list -> cx:float -> cy:float -> r:float -> unit -> t
+
+val polyline : ?attrs:(string * string) list -> (float * float) list -> t
+(** An open [fill:none] polyline through the points, in order. *)
+
+val path : ?attrs:(string * string) list -> string -> t
+(** [path d] — the caller builds [d] from {!f}-formatted numbers. *)
+
+val text_at :
+  ?attrs:(string * string) list -> x:float -> y:float -> string -> t
+(** A [<text>] element at [(x, y)]. *)
+
+val group : ?attrs:(string * string) list -> t list -> t
+
+val document : w:float -> h:float -> ?title:string -> t list -> string
+(** A complete standalone SVG document: XML declaration, [viewBox]
+    [0 0 w h], a white-ish surface rectangle, an optional accessible
+    [<title>], and the fragments.  Ends with a newline. *)
+
+(** {2 Palette}
+
+    The validated light-mode palette the figures share (see
+    docs/REPORT.md): categorical hues are assigned in fixed slot order,
+    never cycled per-chart; the sequential ramp is a single blue,
+    light to dark. *)
+
+val series_color : int -> string
+(** Categorical slot [i] (0-based); indexes beyond the palette fold onto
+    the last slot — callers should cap series counts instead. *)
+
+val sequential : float -> string
+(** [sequential v] with [v] clamped to [0..1]: 0 is the chart surface
+    (reads as "near zero"), 1 the darkest step of the blue ramp.
+    Piecewise-linear interpolation between fixed steps, computed in
+    integer RGB so the result is deterministic. *)
+
+val text_primary : string
+val text_secondary : string
+val grid_color : string
+val axis_color : string
+val surface : string
