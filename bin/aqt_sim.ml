@@ -916,6 +916,130 @@ let bench_gate_cmd =
           benchmark slowed beyond the tolerance")
     Term.(const run $ baseline $ current $ tolerance)
 
+(* ------------------------------------------------------------------ *)
+(* check: differential conformance + fault-injection self-test         *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let open Aqt_check in
+  let run_faults () =
+    let outcomes = Faults.selftest () in
+    List.iter
+      (fun (o : Faults.outcome) ->
+        Printf.printf "%-32s %s%s\n" o.case
+          (if o.passed then "ok" else "FAILED")
+          (if o.passed then "" else ": " ^ o.detail))
+      outcomes;
+    List.for_all (fun (o : Faults.outcome) -> o.passed) outcomes
+  in
+  let run_mutant_demo () =
+    (* The self-check that the differ can catch bugs: corrupt the engine
+       arms three different ways and demand a shrunk reproducer each time. *)
+    let mutants =
+      [
+        ("drop-injection", Diff.Drop_injection 3);
+        ("flip-tie-order", Diff.Flip_tie_order);
+        ("skip-reroutes", Diff.Skip_reroutes);
+      ]
+    in
+    List.for_all
+      (fun (name, mutant) ->
+        match Check.find_mutant_failure mutant with
+        | Some (scenario, failure) ->
+            Printf.printf "mutant %-16s caught: %s\n" name
+              (Format.asprintf "%a" Diff.pp_failure failure);
+            Printf.printf "  shrunk to horizon %d, %d injection(s)\n"
+              (Gen.horizon scenario)
+              (Array.fold_left
+                 (fun acc l -> acc + List.length l)
+                 0 scenario.Gen.schedule);
+            true
+        | None ->
+            Printf.printf "mutant %-16s NOT caught by any scanned seed\n" name;
+            false)
+      mutants
+  in
+  let run seeds base seed faults mutant_demo quiet =
+    let ok = ref true in
+    (match seed with
+    | Some k -> (
+        let scenario = Gen.generate k in
+        Format.printf "%a@." Gen.pp scenario;
+        match Diff.run scenario with
+        | None -> Format.printf "seed %d: conforms@." k
+        | Some original ->
+            let shrunk, failure =
+              Shrink.minimize ~run:Diff.run scenario original
+            in
+            Format.printf "seed %d: %a@.shrunk (%a):@.%a@." k Diff.pp_failure
+              original Diff.pp_failure failure Gen.pp shrunk;
+            ok := false)
+    | None ->
+        if not (faults || mutant_demo) || seeds > 0 then begin
+          let progress =
+            if quiet then None
+            else
+              Some
+                (fun done_ ->
+                  if done_ mod 50 = 0 then
+                    Printf.printf "  ... %d/%d seeds\n%!" done_ seeds)
+          in
+          let summary = Check.run_seeds ?progress ~base ~n:seeds () in
+          Format.printf "%a" Check.pp_summary summary;
+          if summary.Check.failures <> [] then ok := false
+        end);
+    if faults then if not (run_faults ()) then ok := false;
+    if mutant_demo then if not (run_mutant_demo ()) then ok := false;
+    if not !ok then exit 1
+  in
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of random scenarios to check (seeds 0..N-1).")
+  in
+  let base =
+    Arg.(
+      value & opt int 0
+      & info [ "base" ] ~docv:"B" ~doc:"First seed of the range.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"K"
+          ~doc:
+            "Replay a single seed verbosely (prints the scenario, then the \
+             verdict; shrinks on failure).  Overrides $(b,--seeds).")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:"Also run the harness fault-injection self-test.")
+  in
+  let mutant_demo =
+    Arg.(
+      value & flag
+      & info [ "mutant-demo" ]
+          ~doc:
+            "Corrupt the engine arms with each built-in mutant and verify \
+             the differ catches and shrinks every one.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential conformance check: run seeded random scenarios \
+          through a naive reference model and the fast engine in lockstep, \
+          verify adversary admissibility and the paper's dwell-bound \
+          invariants, and shrink any divergence to a minimal reproducer \
+          replayable by seed.  $(b,--faults) adds the campaign-harness \
+          fault-injection self-test.")
+    Term.(const run $ seeds $ base $ seed $ faults $ mutant_demo $ quiet)
+
 let () =
   let doc = "adversarial queuing theory simulator (Lotker-Patt-Shamir-Rosen)" in
   let info = Cmd.info "aqt_sim" ~version:"1.0.0" ~doc in
@@ -925,5 +1049,5 @@ let () =
           [
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
-            spacetime_cmd; campaign_cmd; report_cmd; bench_gate_cmd;
+            spacetime_cmd; campaign_cmd; report_cmd; bench_gate_cmd; check_cmd;
           ]))

@@ -36,7 +36,7 @@ let bucketize ~m log =
    maximum over t2 of (D_t2 - min_(u < t2) D_u) along with a witness, which is
    enough for both the exact check (violation iff max > q - 1) and the
    burstiness measure. *)
-let scan_edge ~p ~q events =
+let scan_events ~p ~q events =
   let s = ref 0 in
   (* Minimum of D_u for u < current event time, with its witness. *)
   let min_d = ref 0 and min_t = ref 0 and min_s = ref 0 in
@@ -66,7 +66,7 @@ let check_rate ~m ~rate log =
   let result = ref (Ok ()) in
   (try
      for e = 0 to m - 1 do
-       let worst, witness = scan_edge ~p ~q buckets.(e) in
+       let worst, witness = scan_events ~p ~q buckets.(e) in
        if worst > q - 1 then begin
          match witness with
          | Some (t1, t2, count) ->
@@ -142,7 +142,7 @@ let check_leaky ~m ~b ~rate log =
   (try
      for e = 0 to m - 1 do
        (* count <= r*len + b  <=>  D_t2 - D_u <= q*b  (integer arithmetic). *)
-       let worst, witness = scan_edge ~p ~q buckets.(e) in
+       let worst, witness = scan_events ~p ~q buckets.(e) in
        if worst > q * b then begin
          match witness with
          | Some (t1, t2, count) ->
@@ -163,12 +163,28 @@ let check_leaky ~m ~b ~rate log =
    with Exit -> ());
   !result
 
+let scan_edge ~rate events =
+  let p = Ratio.num rate and q = Ratio.den rate in
+  let dyn = Dyn.create () in
+  let prev = ref min_int in
+  Array.iter
+    (fun ((t, c) as ev) ->
+      if t <= !prev then
+        invalid_arg "Rate_check.scan_edge: times must be strictly increasing";
+      if t < 1 then invalid_arg "Rate_check.scan_edge: event before step 1";
+      if c < 1 then
+        invalid_arg "Rate_check.scan_edge: multiplicity must be positive";
+      prev := t;
+      Dyn.push dyn ev)
+    events;
+  scan_events ~p ~q dyn
+
 let burstiness ~m ~rate log =
   let p = Ratio.num rate and q = Ratio.den rate in
   let buckets = bucketize ~m log in
   let worst = ref 0 in
   for e = 0 to m - 1 do
-    let excess, _ = scan_edge ~p ~q buckets.(e) in
+    let excess, _ = scan_events ~p ~q buckets.(e) in
     (* Slack b needed on this edge: count <= ceil(r*len) + b translates to
        excess - q*b <= q - 1. *)
     if excess > q - 1 then begin

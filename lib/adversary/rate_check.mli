@@ -64,3 +64,24 @@ val burstiness :
   m:int -> rate:Aqt_util.Ratio.t -> (int * int array) array -> int
 (** The smallest [b >= 0] such that every interval and edge satisfy
     [count <= ceil (r * len) + b]; 0 iff [check_rate] accepts. *)
+
+val scan_edge :
+  rate:Aqt_util.Ratio.t ->
+  (int * int) array ->
+  int * (int * int * int) option
+(** The potential-function scan underlying [check_rate], [check_leaky] and
+    [burstiness], exposed over one edge's event list for direct testing.
+    Input: [(time, multiplicity)] pairs with strictly increasing times
+    [>= 1] and positive multiplicities (the per-edge shape [bucketize]
+    produces).  With [r = p/q], returns the maximum over event times [t2]
+    of [D_t2 - min_(u < t2) D_u] where [D_t = q*S_t - p*t] and [S_t] is
+    the prefix count, plus a witness [(t1, t2, count)] attaining it.
+
+    The sentinel for an empty event list is [(min_int, None)] — strictly
+    below every achievable excess (the checks compare the excess against
+    thresholds [>= 0], so the sentinel makes an idle edge trivially
+    admissible rather than a special case).  The rate-r condition holds on
+    the edge iff the excess is [<= q - 1]; the leaky-bucket [(b, r)]
+    condition iff it is [<= q * b].
+    @raise Invalid_argument on unsorted, pre-step-1 or zero-multiplicity
+    events. *)

@@ -1,0 +1,43 @@
+(** Conformance campaign driver: seeds in, shrunk reproducers out.
+
+    Ties the pieces together for the CLI and the test suite: generate a
+    scenario per seed ({!Gen}), run it differentially against the engine
+    ({!Diff}), shrink any failure to a minimal reproducer ({!Shrink}), and
+    render a report whose every failure is replayable from its seed alone
+    ([aqt_sim check --seed K]). *)
+
+type failure_report = {
+  seed : int;
+  original : Diff.failure;  (** What the unshrunk scenario reported. *)
+  scenario : Gen.scenario;  (** The shrunk reproducer. *)
+  failure : Diff.failure;  (** What the shrunk scenario reports. *)
+}
+
+type summary = {
+  seeds_run : int;
+  failures : failure_report list;  (** Empty = the engine conforms. *)
+}
+
+val run_seed : ?mutant:Diff.mutant -> int -> Diff.failure option
+(** Generate and differentially run one seed (no shrinking). *)
+
+val run_seeds :
+  ?mutant:Diff.mutant ->
+  ?base:int ->
+  ?progress:(int -> unit) ->
+  n:int ->
+  unit ->
+  summary
+(** Seeds [base .. base + n - 1] ([base] defaults to 0); every failure is
+    shrunk before being reported.  [progress] is called with the number of
+    seeds completed. *)
+
+val find_mutant_failure :
+  ?max_seeds:int -> Diff.mutant -> (Gen.scenario * Diff.failure) option
+(** Scan seeds until the mutant makes one diverge, then shrink it.  This
+    is the self-check that the differ can actually catch engine bugs —
+    used by the test suite and by [aqt_sim check --mutant-demo]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable report: pass line, or per-failure the seed, the
+    failure, the shrunk scenario dump, and the replay command. *)

@@ -1,0 +1,282 @@
+module P = Aqt_engine.Packet
+module Network = Aqt_engine.Network
+module Trace = Aqt_engine.Trace
+module Digraph = Aqt_graph.Digraph
+module Rate_check = Aqt_adversary.Rate_check
+module Stability = Aqt.Stability
+
+type mutant = Drop_injection of int | Flip_tie_order | Skip_reroutes
+
+type failure = { kind : string; step : int option; detail : string }
+
+let pp_failure fmt f =
+  match f.step with
+  | Some s -> Format.fprintf fmt "[%s @ step %d] %s" f.kind s f.detail
+  | None -> Format.fprintf fmt "[%s] %s" f.kind f.detail
+
+exception Fail of failure
+
+let fail kind ?step detail = raise (Fail { kind; step; detail })
+
+(* Everything observable about a buffered packet.  Routes are compared as
+   lists so reroutes (which install fresh arrays) still compare by value. *)
+let print_of_packet (p : P.t) =
+  Printf.sprintf "#%d inj@%d hop=%d buf@%d route=[%s]" p.P.id p.P.injected_at
+    p.P.hop p.P.buffered_at
+    (String.concat ";" (List.map string_of_int (Array.to_list p.P.route)))
+
+let packet_fp (p : P.t) =
+  (p.P.id, p.P.injected_at, p.P.hop, p.P.buffered_at, Array.to_list p.P.route)
+
+let compare_buffers ~arm ~step refm net =
+  let m = Digraph.n_edges (Network.graph net) in
+  for e = 0 to m - 1 do
+    let want = Ref_model.buffer_packets refm e in
+    let got = Network.buffer_packets net e in
+    if List.map packet_fp want <> List.map packet_fp got then
+      fail "divergence" ~step
+        (Printf.sprintf "%s arm, edge %d:\n  reference: %s\n  engine:    %s"
+           arm e
+           (String.concat " | " (List.map print_of_packet want))
+           (String.concat " | " (List.map print_of_packet got)))
+  done;
+  if Network.in_flight net <> Ref_model.in_flight refm then
+    fail "divergence" ~step
+      (Printf.sprintf "%s arm: in_flight %d, reference %d" arm
+         (Network.in_flight net) (Ref_model.in_flight refm));
+  if Network.absorbed net <> Ref_model.absorbed refm then
+    fail "divergence" ~step
+      (Printf.sprintf "%s arm: absorbed %d, reference %d" arm
+         (Network.absorbed net) (Ref_model.absorbed refm))
+
+let check_stat ~arm name want got =
+  if want <> got then
+    fail "stat-divergence"
+      (Printf.sprintf "%s arm: %s = %d, reference %d" arm name got want)
+
+let compare_stats ~arm refm net =
+  let m = Digraph.n_edges (Network.graph net) in
+  check_stat ~arm "injected" (Ref_model.injected_count refm)
+    (Network.injected_count net);
+  check_stat ~arm "initials" (Ref_model.initial_count refm)
+    (Network.initial_count net);
+  check_stat ~arm "max_queue" (Ref_model.max_queue_ever refm)
+    (Network.max_queue_ever net);
+  check_stat ~arm "max_dwell" (Ref_model.max_dwell refm)
+    (Network.max_dwell net);
+  check_stat ~arm "max_pending_dwell"
+    (Ref_model.max_pending_dwell refm)
+    (Network.max_pending_dwell net);
+  check_stat ~arm "latency_max"
+    (Ref_model.delivered_latency_max refm)
+    (Network.delivered_latency_max net);
+  check_stat ~arm "reroutes" (Ref_model.reroute_count refm)
+    (Network.reroute_count net);
+  if
+    Ref_model.delivered_latency_mean refm
+    <> Network.delivered_latency_mean net
+  then
+    fail "stat-divergence"
+      (Printf.sprintf "%s arm: latency_mean %g, reference %g" arm
+         (Network.delivered_latency_mean net)
+         (Ref_model.delivered_latency_mean refm));
+  for e = 0 to m - 1 do
+    check_stat ~arm
+      (Printf.sprintf "max_queue_of_edge %d" e)
+      (Ref_model.max_queue_of_edge refm e)
+      (Network.max_queue_of_edge net e);
+    check_stat ~arm
+      (Printf.sprintf "sent_on_edge %d" e)
+      (Ref_model.sent_on_edge refm e)
+      (Network.sent_on_edge net e);
+    check_stat ~arm
+      (Printf.sprintf "last_injection_on %d" e)
+      (Ref_model.last_injection_on refm e)
+      (Network.last_injection_on net e)
+  done
+
+let compare_logs ~arm refm net =
+  let want = Ref_model.injection_log refm in
+  let got = Network.injection_log net in
+  if Array.length want <> Array.length got then
+    fail "injection-log"
+      (Printf.sprintf "%s arm: %d entries, reference %d" arm
+         (Array.length got) (Array.length want));
+  Array.iteri
+    (fun i (wt, wr) ->
+      let gt, gr = got.(i) in
+      if wt <> gt || Array.to_list wr <> Array.to_list gr then
+        fail "injection-log"
+          (Printf.sprintf "%s arm: entry %d is (t=%d, [%s]), reference (t=%d, [%s])"
+             arm i gt
+             (String.concat ";" (List.map string_of_int (Array.to_list gr)))
+             wt
+             (String.concat ";" (List.map string_of_int (Array.to_list wr)))))
+    want
+
+(* The deterministic reroute pass (same rule as the fast-path tests):
+   before each step, every buffered packet with [id mod 5 = 2] and more
+   than one remaining hop gets its route truncated at the current edge.
+   Applied identically to the reference and (unless the mutant suppresses
+   it) to each engine arm; truncation is per-packet, so the application
+   order within an arm does not matter. *)
+let should_truncate (p : P.t) = p.P.id mod 5 = 2 && P.remaining p > 1
+
+let reroute_ref refm =
+  let victims = ref [] in
+  Ref_model.iter_buffered
+    (fun p -> if should_truncate p then victims := p :: !victims)
+    refm;
+  List.iter (fun p -> Ref_model.reroute refm p [||]) !victims
+
+let reroute_net net =
+  let victims = ref [] in
+  Network.iter_buffered
+    (fun p -> if should_truncate p then victims := p :: !victims)
+    net;
+  List.iter (fun p -> Network.reroute net p [||]) !victims
+
+(* Trace-level invariants: at most one forward per (step, edge), and each
+   step's forwarded-edge set equals the reference model's pre-step
+   nonempty set — the engine is greedy and never idles a backlogged link. *)
+let check_trace_invariants tr ref_forwards =
+  let by_step = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | Trace.Forwarded { t; edge; _ } ->
+          let prev = try Hashtbl.find by_step t with Not_found -> [] in
+          if List.mem edge prev then
+            fail "trace-invariant" ~step:t
+              (Printf.sprintf "edge %d forwarded twice in step %d" edge t);
+          Hashtbl.replace by_step t (edge :: prev)
+      | _ -> ())
+    (Trace.events tr);
+  Array.iteri
+    (fun i expected ->
+      let t = i + 1 in
+      let got =
+        List.sort Int.compare
+          (try Hashtbl.find by_step t with Not_found -> [])
+      in
+      let want = List.sort Int.compare expected in
+      if want <> got then
+        fail "trace-invariant" ~step:t
+          (Printf.sprintf
+             "step %d forwarded edges {%s}, nonempty buffers were {%s}" t
+             (String.concat "," (List.map string_of_int got))
+             (String.concat "," (List.map string_of_int want))))
+    ref_forwards
+
+let check_conservation ~arm net =
+  let made = Network.initial_count net + Network.injected_count net in
+  let accounted = Network.absorbed net + Network.in_flight net in
+  if made <> accounted then
+    fail "conservation"
+      (Printf.sprintf "%s arm: %d packets created but %d accounted for" arm
+         made accounted)
+
+let check_obligation scenario net = function
+  | Gen.Rate_ok rate ->
+      let m = Digraph.n_edges scenario.Gen.graph in
+      (match Rate_check.check_rate ~m ~rate (Network.injection_log net) with
+      | Ok () -> ()
+      | Error v ->
+          fail "rate" (Format.asprintf "%a" Rate_check.pp_violation v))
+  | Gen.Windowed_ok { w; rate } ->
+      let m = Digraph.n_edges scenario.Gen.graph in
+      (match
+         Rate_check.check_windowed ~m ~w ~rate (Network.injection_log net)
+       with
+      | Ok () -> ()
+      | Error v ->
+          fail "windowed" (Format.asprintf "%a" Rate_check.pp_violation v))
+  | Gen.Leaky_ok { b; rate } ->
+      let m = Digraph.n_edges scenario.Gen.graph in
+      (match
+         Rate_check.check_leaky ~m ~b ~rate (Network.injection_log net)
+       with
+      | Ok () -> ()
+      | Error v ->
+          fail "leaky" (Format.asprintf "%a" Rate_check.pp_violation v))
+  | Gen.Dwell_bound { w; rate; d } -> (
+      match Stability.verify_run ~w ~rate ~d net with
+      | None | Some { Stability.ok = true; _ } -> ()
+      | Some v ->
+          fail "dwell"
+            (Printf.sprintf
+               "dwell bound %d exceeded: max completed %d, max pending %d"
+               v.Stability.bound v.Stability.max_dwell_seen
+               v.Stability.max_pending))
+
+let run ?mutant (scenario : Gen.scenario) =
+  let engine_tie =
+    match mutant with
+    | Some Flip_tie_order -> (
+        match scenario.tie_order with
+        | Network.Transit_first -> Network.Injection_first
+        | Network.Injection_first -> Network.Transit_first)
+    | _ -> scenario.tie_order
+  in
+  let engine_reroutes =
+    scenario.reroutes && mutant <> Some Skip_reroutes
+  in
+  let refm =
+    Ref_model.create ~tie_order:scenario.tie_order ~graph:scenario.graph
+      ~policy:scenario.policy ()
+  in
+  let fast =
+    Network.create ~log_injections:true ~tie_order:engine_tie ~recycle:true
+      ~graph:scenario.graph ~policy:scenario.policy ()
+  in
+  let tr = Trace.create () in
+  let traced =
+    Network.create ~log_injections:true ~tie_order:engine_tie
+      ~tracer:(Trace.handler tr) ~graph:scenario.graph
+      ~policy:scenario.policy ()
+  in
+  try
+    List.iter
+      (fun route ->
+        ignore (Ref_model.place_initial refm route);
+        ignore (Network.place_initial fast route);
+        ignore (Network.place_initial traced route))
+      scenario.initial;
+    let horizon = Gen.horizon scenario in
+    let ref_forwards = Array.make horizon [] in
+    let injections_seen = ref 0 in
+    for i = 0 to horizon - 1 do
+      let step = i + 1 in
+      if scenario.reroutes then reroute_ref refm;
+      if engine_reroutes then begin
+        reroute_net fast;
+        reroute_net traced
+      end;
+      let injs = scenario.schedule.(i) in
+      let engine_injs =
+        match mutant with
+        | Some (Drop_injection k) ->
+            List.filter
+              (fun _ ->
+                let n = !injections_seen in
+                incr injections_seen;
+                n <> k)
+              injs
+        | _ -> injs
+      in
+      let forwards = Ref_model.step refm injs in
+      ref_forwards.(i) <- List.map fst forwards;
+      Network.step fast engine_injs;
+      Network.step traced engine_injs;
+      compare_buffers ~arm:"fast" ~step refm fast;
+      compare_buffers ~arm:"traced" ~step refm traced
+    done;
+    compare_stats ~arm:"fast" refm fast;
+    compare_stats ~arm:"traced" refm traced;
+    compare_logs ~arm:"fast" refm fast;
+    compare_logs ~arm:"traced" refm traced;
+    check_conservation ~arm:"fast" fast;
+    check_conservation ~arm:"traced" traced;
+    check_trace_invariants tr ref_forwards;
+    List.iter (check_obligation scenario fast) scenario.obligations;
+    None
+  with Fail f -> Some f

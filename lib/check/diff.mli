@@ -1,0 +1,52 @@
+(** Differential execution: reference model vs. the fast engine.
+
+    One scenario is executed three ways in lockstep — the naive
+    {!Ref_model}, the engine on its zero-allocation fast path
+    ([recycle:true], no tracer), and the engine with a {!Aqt_engine.Trace}
+    collector attached (the traced and untraced step loops are distinct
+    code paths; both must conform).  After every step the full observable
+    state is compared packet-by-packet: per-edge buffer contents in policy
+    order, with each packet's id, injection time, hop, buffered-at time
+    and full route.  The first mismatching step is reported precisely,
+    which is what makes shrinking cheap.
+
+    After the run, the invariant layer checks:
+
+    - the engine's event trace forwards at most one packet per link per
+      step, and the forwarded-edge set of every step equals the reference
+      model's pre-step nonempty-buffer set (greedy non-idling);
+    - end-of-run statistics agree (queue maxima, send counts, dwell,
+      latency, Def 3.2 last-use times);
+    - the [(time, final route)] injection logs agree entry-for-entry;
+    - packet conservation: initial + injected = absorbed + in flight;
+    - every scenario obligation: {!Aqt_adversary.Rate_check} admissibility
+      for the scenario's adversary class, and the Theorem 4.1/4.3 dwell
+      bound via [Aqt.Stability.verify_run] where a theorem applies.
+
+    A {!mutant} deliberately corrupts the {e engine-side} execution while
+    leaving the reference untouched; the committed test suite uses mutants
+    to prove the differ actually detects and shrinks engine bugs (a
+    checker that can never fail verifies nothing). *)
+
+type mutant =
+  | Drop_injection of int
+      (** Silently skip the k-th (0-based, in schedule order) injection on
+          the engine arms — models a lost packet. *)
+  | Flip_tie_order
+      (** Build the engine arms with the opposite substep-2 tie order —
+          models a tie-breaking regression. *)
+  | Skip_reroutes
+      (** Engine arms ignore the reroute pass — models a reroute that
+          fails to apply. *)
+
+type failure = {
+  kind : string;  (** "divergence", "trace-invariant", "rate", ... *)
+  step : int option;  (** First failing step, when the check is per-step. *)
+  detail : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run : ?mutant:mutant -> Gen.scenario -> failure option
+(** [None] = the engine conforms on this scenario and every obligation
+    holds.  Deterministic: same scenario, same answer. *)

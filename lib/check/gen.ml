@@ -1,0 +1,234 @@
+module Prng = Aqt_util.Prng
+module Ratio = Aqt_util.Ratio
+module Digraph = Aqt_graph.Digraph
+module Build = Aqt_graph.Build
+module Network = Aqt_engine.Network
+module Sim = Aqt_engine.Sim
+module Policies = Aqt_policy.Policies
+module Stock = Aqt_adversary.Stock
+
+type obligation =
+  | Rate_ok of Ratio.t
+  | Windowed_ok of { w : int; rate : Ratio.t }
+  | Leaky_ok of { b : int; rate : Ratio.t }
+  | Dwell_bound of { w : int; rate : Ratio.t; d : int }
+
+type scenario = {
+  seed : int;
+  label : string;
+  graph : Digraph.t;
+  policy : Aqt_engine.Policy_type.t;
+  tie_order : Network.tie_order;
+  initial : int array list;
+  schedule : Network.injection list array;
+  reroutes : bool;
+  obligations : obligation list;
+}
+
+let horizon s = Array.length s.schedule
+
+(* The [random] policy consumes a mutable PRNG per key evaluation, so two
+   arms would drift; every other named policy is a pure key function. *)
+let policies = Array.of_list Policies.all_deterministic
+
+let pick_policy prng = Prng.pick prng policies
+
+let pick_tie prng =
+  if Prng.bool prng then Network.Transit_first else Network.Injection_first
+
+(* Replay a stock adversary's injection function into a concrete per-step
+   schedule, so all arms see byte-identical injections.  The network
+   argument is unused by every stock driver (they are pure in [t]); a
+   throwaway instance satisfies the type. *)
+let materialize ~graph driver ~horizon =
+  let dummy = Network.create ~graph ~policy:Policies.fifo () in
+  Array.init horizon (fun i -> driver.Sim.injections_at dummy (i + 1))
+
+(* Routes over a directed ring: arcs of up to [k - 1] edges (longer would
+   repeat an edge).  Overlap freely. *)
+let ring_arc prng (r : Build.ring) ~max_len =
+  let k = Array.length r.edges in
+  let start = Prng.int prng k in
+  let len = 1 + Prng.int prng (min max_len (k - 1)) in
+  Array.init len (fun j -> r.edges.((start + j) mod k))
+
+let line_segment prng (l : Build.line) =
+  let k = Array.length l.edges in
+  let start = Prng.int prng k in
+  let len = 1 + Prng.int prng (k - start) in
+  Array.sub l.edges start len
+
+(* Edge-disjoint routes: the branches of a parallel-paths graph. *)
+let disjoint_pool prng =
+  let branches = 2 + Prng.int prng 3 and hops = 1 + Prng.int prng 4 in
+  let p = Build.parallel_paths ~branches ~hops in
+  (p.Build.graph, Array.to_list p.Build.paths, hops)
+
+let overlapping_pool prng =
+  if Prng.bool prng then begin
+    let k = 3 + Prng.int prng 6 in
+    let r = Build.ring k in
+    let n = 2 + Prng.int prng 4 in
+    ( r.Build.graph,
+      List.init n (fun _ -> ring_arc prng r ~max_len:(k - 1)),
+      Printf.sprintf "ring(%d)" k )
+  end
+  else begin
+    let k = 2 + Prng.int prng 7 in
+    let l = Build.line k in
+    let n = 2 + Prng.int prng 4 in
+    ( l.Build.graph,
+      List.init n (fun _ -> line_segment prng l),
+      Printf.sprintf "line(%d)" k )
+  end
+
+let free prng seed =
+  let graph, pool, topo = overlapping_pool prng in
+  let pool = Array.of_list pool in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  let reroutes = Prng.bool prng in
+  let n_initial = Prng.int prng 5 in
+  let initial = List.init n_initial (fun _ -> Prng.pick prng pool) in
+  let horizon = 20 + Prng.int prng 41 in
+  let schedule =
+    Array.init horizon (fun _ ->
+        List.init (Prng.int prng 4) (fun _ : Network.injection ->
+            { route = Prng.pick prng pool; tag = "free" }))
+  in
+  {
+    seed;
+    label =
+      Printf.sprintf "free %s %s %s%s" topo policy.name
+        (match tie_order with
+        | Network.Transit_first -> "transit-first"
+        | Network.Injection_first -> "injection-first")
+        (if reroutes then " +reroutes" else "");
+    graph;
+    policy;
+    tie_order;
+    initial;
+    schedule;
+    reroutes;
+    obligations = [];
+  }
+
+let shared_bucket prng seed =
+  let graph, pool, topo = overlapping_pool prng in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  let den = 2 + Prng.int prng 6 in
+  let rate = Ratio.make (1 + Prng.int prng den) den in
+  let horizon = 30 + Prng.int prng 51 in
+  let adv = Stock.shared_token_bucket ~rate ~routes:pool ~horizon () in
+  {
+    seed;
+    label =
+      Printf.sprintf "shared-bucket %s %s rate=%s" topo policy.name
+        (Ratio.to_string rate);
+    graph;
+    policy;
+    tie_order;
+    initial = [];
+    schedule = materialize ~graph adv.Stock.driver ~horizon;
+    reroutes = false;
+    obligations = [ Rate_ok rate ];
+  }
+
+let windowed prng seed =
+  let graph, pool, d = disjoint_pool prng in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  (* Pitch the rate exactly at a theorem hypothesis: 1/(d+1) puts every
+     greedy policy under Theorem 4.1, 1/d puts time-priority policies under
+     Theorem 4.3 (for the rest the dwell obligation verifies vacuously). *)
+  let rate =
+    if Prng.bool prng then Ratio.make 1 (d + 1) else Ratio.make 1 d
+  in
+  let w = Ratio.den rate * (1 + Prng.int prng 3) in
+  let packed = Prng.bool prng in
+  let horizon = w * (3 + Prng.int prng 4) in
+  let adv = Stock.windowed_burst ~packed ~w ~rate ~routes:pool ~horizon () in
+  {
+    seed;
+    label =
+      Printf.sprintf "windowed parallel(d=%d) %s w=%d rate=%s%s" d policy.name
+        w (Ratio.to_string rate)
+        (if packed then " packed" else "");
+    graph;
+    policy;
+    tie_order;
+    initial = [];
+    schedule = materialize ~graph adv.Stock.driver ~horizon;
+    reroutes = false;
+    obligations = [ Windowed_ok { w; rate }; Dwell_bound { w; rate; d } ];
+  }
+
+let leaky prng seed =
+  let graph, pool, d = disjoint_pool prng in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  (* b >= 1: a lone token-bucket flow has burstiness 1 relative to the
+     real-valued bound (count <= r*len + b), so b = 0 would be violated by
+     the adversary's own release pattern, not by an engine bug. *)
+  let b = 1 + Prng.int prng 3 in
+  let den = 2 + Prng.int prng 5 in
+  let rate = Ratio.make (1 + Prng.int prng (den - 1)) den in
+  let horizon = 30 + Prng.int prng 31 in
+  let adv = Stock.leaky_bucket ~b ~rate ~routes:pool ~horizon () in
+  {
+    seed;
+    label =
+      Printf.sprintf "leaky parallel(d=%d) %s b=%d rate=%s" d policy.name b
+        (Ratio.to_string rate);
+    graph;
+    policy;
+    tie_order;
+    initial = [];
+    schedule = materialize ~graph adv.Stock.driver ~horizon;
+    reroutes = false;
+    obligations = [ Leaky_ok { b; rate } ];
+  }
+
+let generate seed =
+  let prng = Prng.create seed in
+  match Prng.int prng 4 with
+  | 0 -> free prng seed
+  | 1 -> shared_bucket prng seed
+  | 2 -> windowed prng seed
+  | _ -> leaky prng seed
+
+let pp_obligation fmt = function
+  | Rate_ok rate -> Format.fprintf fmt "rate-%a all-intervals" Ratio.pp rate
+  | Windowed_ok { w; rate } ->
+      Format.fprintf fmt "(w=%d, r=%a) windowed (Def 2.1)" w Ratio.pp rate
+  | Leaky_ok { b; rate } ->
+      Format.fprintf fmt "leaky-bucket b=%d r=%a" b Ratio.pp rate
+  | Dwell_bound { w; rate; d } ->
+      Format.fprintf fmt "dwell bound (w=%d, r=%a, d=%d, Thm 4.1/4.3)" w
+        Ratio.pp rate d
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>seed %d: %s@," s.seed s.label;
+  Format.fprintf fmt "graph: %d nodes, %d edges; horizon %d@,"
+    (Digraph.n_nodes s.graph) (Digraph.n_edges s.graph) (horizon s);
+  if s.initial <> [] then begin
+    Format.fprintf fmt "initial:@,";
+    List.iter
+      (fun r -> Format.fprintf fmt "  %a@," (Digraph.pp_route s.graph) r)
+      s.initial
+  end;
+  Array.iteri
+    (fun i injs ->
+      if injs <> [] then begin
+        Format.fprintf fmt "step %d:@," (i + 1);
+        List.iter
+          (fun (inj : Network.injection) ->
+            Format.fprintf fmt "  %a@," (Digraph.pp_route s.graph) inj.route)
+          injs
+      end)
+    s.schedule;
+  List.iter
+    (fun o -> Format.fprintf fmt "obligation: %a@," pp_obligation o)
+    s.obligations;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,71 @@
+(** Seeded generation of random conformance scenarios.
+
+    Every scenario is derived deterministically from a single integer seed
+    via {!Aqt_util.Prng} (splitmix64), so any failure the differential
+    driver finds is replayable from the seed alone — on any machine,
+    forever.  A scenario bundles a topology, a policy, a tie order, an
+    initial configuration, a fully materialised per-step injection
+    schedule, and the list of {e obligations} the run must satisfy beyond
+    agreeing with the reference model.
+
+    Four families are drawn (the family is the seed's first decision):
+
+    - {b free}: arbitrary injection schedules over rings and lines, any
+      deterministic policy, optional rerouting — maximal schedule
+      diversity, differential checking only;
+    - {b shared-bucket}: a {!Aqt_adversary.Stock.shared_token_bucket}
+      adversary over overlapping routes — the injection log must pass the
+      all-intervals rate-r check ([Rate_ok]);
+    - {b windowed}: a (w,r) {!Aqt_adversary.Stock.windowed_burst} over
+      edge-disjoint routes, with the rate chosen against the route length
+      [d] so Theorem 4.1 (r = 1/(d+1), any greedy policy) or Theorem 4.3
+      (r = 1/d, time-priority policies) applies — obligations
+      [Windowed_ok] and [Dwell_bound];
+    - {b leaky}: a (b,r) {!Aqt_adversary.Stock.leaky_bucket} over
+      edge-disjoint routes — obligation [Leaky_ok].
+
+    Schedules from stock adversaries are materialised once at generation
+    time, so the reference model, the fast engine and the traced engine
+    all replay byte-identical injection sequences.  Excluded by design:
+    the [bernoulli] adversary and the [random] policy — both consume a
+    mutable PRNG {e during} the run, so two arms would not see the same
+    draws. *)
+
+type obligation =
+  | Rate_ok of Aqt_util.Ratio.t
+      (** Injection log must pass [Rate_check.check_rate]. *)
+  | Windowed_ok of { w : int; rate : Aqt_util.Ratio.t }
+      (** Must pass [Rate_check.check_windowed] (Def 2.1). *)
+  | Leaky_ok of { b : int; rate : Aqt_util.Ratio.t }
+      (** Must pass [Rate_check.check_leaky]. *)
+  | Dwell_bound of { w : int; rate : Aqt_util.Ratio.t; d : int }
+      (** [Aqt.Stability.verify_run] must not report a violated theorem
+          bound (scenarios where no theorem applies verify vacuously). *)
+
+type scenario = {
+  seed : int;
+  label : string;  (** Family, topology, policy, tie order — for humans. *)
+  graph : Aqt_graph.Digraph.t;
+  policy : Aqt_engine.Policy_type.t;
+  tie_order : Aqt_engine.Network.tie_order;
+  initial : int array list;  (** Routes placed at time 0. *)
+  schedule : Aqt_engine.Network.injection list array;
+      (** [schedule.(i)] arrives in the second substep of step [i + 1];
+          the horizon is the array length. *)
+  reroutes : bool;
+      (** Run the deterministic truncation-reroute pass before each step. *)
+  obligations : obligation list;
+}
+
+val horizon : scenario -> int
+
+val generate : int -> scenario
+(** The scenario of a seed.  Total: every seed yields a well-formed
+    scenario. *)
+
+val pp : Format.formatter -> scenario -> unit
+(** Full human-readable dump: label, sizes, initial routes, the nonempty
+    schedule entries, obligations.  This is what a shrunk reproducer
+    prints. *)
+
+val pp_obligation : Format.formatter -> obligation -> unit

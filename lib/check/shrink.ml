@@ -1,0 +1,77 @@
+(* Candidate budget: each kept or rejected candidate costs one full
+   differential run, so bound the total.  Generated scenarios hold at most
+   a few hundred injections; the bound is never reached in practice. *)
+let max_candidates = 2000
+
+let minimize ~run scenario failure =
+  let cur = ref scenario in
+  let curf = ref failure in
+  let fuel = ref max_candidates in
+  let try_candidate c =
+    !fuel > 0
+    &&
+    (decr fuel;
+     match run c with
+     | Some f ->
+         cur := c;
+         curf := f;
+         true
+     | None -> false)
+  in
+  let truncate_to_failure () =
+    match !curf.Diff.step with
+    | Some s when s < Gen.horizon !cur ->
+        try_candidate
+          { !cur with Gen.schedule = Array.sub !cur.Gen.schedule 0 s }
+    | _ -> false
+  in
+  ignore (truncate_to_failure ());
+  let changed = ref true in
+  while !changed && !fuel > 0 do
+    changed := false;
+    (* Empty whole steps, latest first: late injections are the likeliest
+       to be irrelevant to an early divergence. *)
+    for i = Gen.horizon !cur - 1 downto 0 do
+      if !cur.Gen.schedule.(i) <> [] then begin
+        let sch = Array.copy !cur.Gen.schedule in
+        sch.(i) <- [];
+        if try_candidate { !cur with Gen.schedule = sch } then changed := true
+      end
+    done;
+    (* Drop single injections. *)
+    for i = 0 to Gen.horizon !cur - 1 do
+      let rec drop_at j =
+        let injs = !cur.Gen.schedule.(i) in
+        if j < List.length injs then begin
+          let sch = Array.copy !cur.Gen.schedule in
+          sch.(i) <- List.filteri (fun idx _ -> idx <> j) injs;
+          if try_candidate { !cur with Gen.schedule = sch } then begin
+            changed := true;
+            drop_at j (* index j now holds the next injection *)
+          end
+          else drop_at (j + 1)
+        end
+      in
+      drop_at 0
+    done;
+    (* Drop initial-configuration packets.  Packet ids shift when one is
+       removed, so candidates are re-run from scratch like any other. *)
+    let rec drop_init j =
+      let init = !cur.Gen.initial in
+      if j < List.length init then begin
+        let cand =
+          { !cur with Gen.initial = List.filteri (fun idx _ -> idx <> j) init }
+        in
+        if try_candidate cand then begin
+          changed := true;
+          drop_init j
+        end
+        else drop_init (j + 1)
+      end
+    in
+    drop_init 0;
+    if !cur.Gen.reroutes then
+      if try_candidate { !cur with Gen.reroutes = false } then changed := true;
+    if truncate_to_failure () then changed := true
+  done;
+  (!cur, !curf)

@@ -1,0 +1,27 @@
+(** Greedy delta-debugging of a failing conformance scenario.
+
+    Given a scenario on which [run] reports a failure, produce a smaller
+    scenario that still fails: the horizon is truncated to the first
+    failing step, whole schedule steps are emptied (latest first), single
+    injections and initial packets are dropped one at a time, and the
+    reroute pass is disabled if the failure survives without it.  Passes
+    repeat to a fixpoint under a fuel bound, so shrinking always
+    terminates quickly even on pathological inputs.
+
+    Every candidate is re-validated by calling [run] — a candidate is kept
+    only if it still fails (with whatever failure it now produces, not
+    necessarily the original kind: any failing smaller input is a better
+    reproducer than a larger one).  Because dropping injections only
+    lowers per-edge injection counts, shrinking preserves the scenario's
+    admissibility obligations — a correct engine cannot start failing a
+    rate or dwell check on a shrunk candidate, so shrinking never
+    manufactures spurious reproducers. *)
+
+val minimize :
+  run:(Gen.scenario -> Diff.failure option) ->
+  Gen.scenario ->
+  Diff.failure ->
+  Gen.scenario * Diff.failure
+(** [minimize ~run scenario failure] requires that [run scenario] fails
+    (with [failure]); returns the shrunk scenario and its failure.  [run]
+    is typically [Diff.run] or [Diff.run ~mutant:m]. *)

@@ -60,18 +60,38 @@ let store t ~key ~name ~spec ~duration result =
       ]
   in
   mkdir_p t.dir;
-  (* Unique temp per writer: scheduler domains may store concurrently. *)
+  (* Unique temp per writer: scheduler domains may store concurrently, and
+     separate processes may share one cache dir, so the name must key on
+     both the PID and the domain id — domain ids alone collide across
+     processes and two writers would clobber each other's file mid-write. *)
   let tmp =
     Filename.concat t.dir
-      (Printf.sprintf ".%s.%d.tmp" key (Domain.self () :> int))
+      (Printf.sprintf ".%s.%d.%d.tmp" key (Unix.getpid ())
+         (Domain.self () :> int))
   in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Jsonx.to_string json);
-      output_char oc '\n');
-  Sys.rename tmp (path t key)
+  let publish () =
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Jsonx.to_string json);
+        output_char oc '\n';
+        Fault.hit Fault.Cache_write);
+    let target = path t key in
+    (* Atomic publication.  POSIX rename replaces an existing target; on
+       Windows it raises instead, so fall back to remove-then-rename —
+       losing atomicity only on the platform that never had it. *)
+    try Sys.rename tmp target
+    with Sys_error _ ->
+      (try Sys.remove target with Sys_error _ -> ());
+      Sys.rename tmp target
+  in
+  (* A crash mid-store must never leave the temp file behind: the entry
+     simply does not appear and a later lookup is a miss. *)
+  try publish ()
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let cache_files t =
   if not (Sys.file_exists t.dir) then []

@@ -6,8 +6,11 @@
     experiment name, or the campaign-wide code salt changes the key, so a
     stale file is simply never looked up again — [clean] exists for
     hygiene, not correctness.  Corrupt or unreadable files count as
-    misses.  Writes go through a temp file and [Sys.rename], so concurrent
-    writers (scheduler domains) can never publish a torn file. *)
+    misses.  Writes go through a per-writer temp file (named by PID and
+    domain id, so concurrent domains {e and} concurrent processes sharing a
+    cache dir never collide) and [Sys.rename], so a torn file can never be
+    published; a writer that crashes mid-store removes its temp file and
+    leaves the cache exactly as it was. *)
 
 type t
 

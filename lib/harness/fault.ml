@@ -1,0 +1,17 @@
+type point = Cache_write | Journal_append | Task_run
+
+exception Injected of string
+
+let pp_point fmt = function
+  | Cache_write -> Format.pp_print_string fmt "cache-write"
+  | Journal_append -> Format.pp_print_string fmt "journal-append"
+  | Task_run -> Format.pp_print_string fmt "task-run"
+
+(* A single atomic holding the hook: scheduler domains read it concurrently
+   with the (test-side) install/clear writes. *)
+let hook : (point -> unit) option Atomic.t = Atomic.make None
+
+let install f = Atomic.set hook (Some f)
+let clear () = Atomic.set hook None
+
+let hit p = match Atomic.get hook with None -> () | Some f -> f p

@@ -1,0 +1,50 @@
+(** Fault-injection points for the campaign harness.
+
+    The harness calls {!hit} at the I/O and execution boundaries that can
+    fail in production — cache publication, journal appends, task bodies.
+    By default a hit is free (one atomic load); a test installs a hook with
+    {!install} to make chosen points raise {!Injected} (simulating a crash
+    mid-write), sleep (simulating a hang that overruns a timeout budget),
+    or anything else.  [Aqt_check.Faults] builds the standard fail-once /
+    fail-always / delay policies on top of this primitive.
+
+    Hooks run on whichever domain reaches the fault point, so an installed
+    hook must be domain-safe (use [Atomic] counters for fail-N-times
+    policies).  Production code never installs a hook; the cost of a
+    disabled point is a single atomic read. *)
+
+type point =
+  | Cache_write
+      (** Inside [Cache.store], after the payload is written to the temp
+          file but before the atomic rename publishes it.  Raising here
+          simulates a writer crashing mid-store: the entry must never
+          become visible and the temp file must not corrupt the cache. *)
+  | Journal_append
+      (** Inside [Journal.write], before the line is emitted.  Raising
+          simulates a full disk / closed descriptor; the writer degrades
+          to a no-op rather than failing the campaign (see
+          {!Journal.degraded}). *)
+  | Task_run
+      (** Inside [Scheduler.run_one], at the start of every task attempt,
+          before the experiment body.  Raising simulates a crashing
+          experiment (retry path); sleeping simulates a hung experiment
+          (timeout path). *)
+
+exception Injected of string
+(** The canonical exception raised by fault hooks.  Harness code that
+    degrades gracefully on real I/O errors ([Sys_error]) treats [Injected]
+    the same way, so tests exercise exactly the production error paths. *)
+
+val pp_point : Format.formatter -> point -> unit
+
+val install : (point -> unit) -> unit
+(** [install hook] makes every subsequent {!hit} call [hook].  The hook may
+    raise to fail the point or sleep to delay it.  Replaces any previous
+    hook. *)
+
+val clear : unit -> unit
+(** Remove the hook; all points become free again. *)
+
+val hit : point -> unit
+(** Called by the harness at each fault point.  No-op unless a hook is
+    installed. *)

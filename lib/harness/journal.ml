@@ -20,6 +20,12 @@ type event =
       gc_major_words : float option;
       trajectory : (string * float) list list;
     }
+  | Task_timeout of {
+      name : string;
+      at : float;
+      limit : float;
+      duration : float;
+    }
   | Campaign_end of {
       at : float;
       ran : int;
@@ -109,6 +115,15 @@ let event_to_json = function
                        (List.map (fun (k, v) -> (k, Jsonx.Float v)) row))
                    trajectory) );
           ])
+  | Task_timeout { name; at; limit; duration } ->
+      Jsonx.Obj
+        [
+          ("ev", Jsonx.Str "task_timeout");
+          ("name", Jsonx.Str name);
+          ("at", Jsonx.Float at);
+          ("limit", Jsonx.Float limit);
+          ("duration", Jsonx.Float duration);
+        ]
   | Campaign_end { at; ran; cached; failed; duration } ->
       Jsonx.Obj
         [
@@ -165,6 +180,14 @@ let event_of_json j =
                       (Jsonx.to_obj row))
                   (Jsonx.to_list rows));
         }
+  | "task_timeout" ->
+      Task_timeout
+        {
+          name = Jsonx.to_str (Jsonx.get "name" j);
+          at = Jsonx.to_float (Jsonx.get "at" j);
+          limit = Jsonx.to_float (Jsonx.get "limit" j);
+          duration = Jsonx.to_float (Jsonx.get "duration" j);
+        }
   | "campaign_end" ->
       Campaign_end
         {
@@ -180,7 +203,12 @@ let event_of_json j =
 (* Writer                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type writer = { path : string; oc : out_channel; lock : Mutex.t }
+type writer = {
+  path : string;
+  oc : out_channel;
+  lock : Mutex.t;
+  mutable degraded : bool;
+}
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
@@ -193,7 +221,7 @@ let create path =
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
-  { path; oc; lock = Mutex.create () }
+  { path; oc; lock = Mutex.create (); degraded = false }
 
 let write w ev =
   let line = Jsonx.to_string (event_to_json ev) in
@@ -201,10 +229,18 @@ let write w ev =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.lock)
     (fun () ->
-      output_string w.oc line;
-      output_char w.oc '\n';
-      flush w.oc)
+      (* Journaling is best-effort: an append failure (disk full, closed
+         descriptor, injected fault) degrades the writer to a no-op rather
+         than crashing the campaign; the file keeps its readable prefix. *)
+      if not w.degraded then
+        try
+          Fault.hit Fault.Journal_append;
+          output_string w.oc line;
+          output_char w.oc '\n';
+          flush w.oc
+        with Sys_error _ | Fault.Injected _ -> w.degraded <- true)
 
+let degraded w = w.degraded
 let file w = w.path
 let close w = close_out_noerr w.oc
 

@@ -35,6 +35,19 @@ type event =
               fast path. *)
       trajectory : (string * float) list list;
     }
+  | Task_timeout of {
+      name : string;
+      at : float;
+      limit : float;  (** The configured wall-clock budget, seconds. *)
+      duration : float;  (** How long the task actually ran. *)
+    }
+      (** Post-hoc timeout marker.  Timeouts are cooperative (a domain
+          cannot be interrupted mid-OCaml code), so an overrunning task is
+          detected only {e after} it returns: this event records, at
+          detection time, that the task exceeded [limit] and ran for
+          [duration] — reading [Task_finish]'s [at] as "when the timeout
+          fired" would misreport it.  Written immediately before the
+          corresponding [Task_finish] with outcome [Timed_out]. *)
   | Campaign_end of {
       at : float;
       ran : int;
@@ -54,7 +67,14 @@ val create : string -> writer
 (** Open [file] for append, creating parent directories as needed. *)
 
 val write : writer -> event -> unit
-(** Thread-safe; flushes the line. *)
+(** Thread-safe; flushes the line.  Journaling is observability, not
+    correctness: if an append fails (disk full, closed descriptor, an
+    injected {!Fault.Journal_append} fault), the writer marks itself
+    {!degraded} and every subsequent [write] becomes a no-op instead of
+    failing the campaign — the journal keeps its readable prefix. *)
+
+val degraded : writer -> bool
+(** True once an append has failed; later writes were dropped. *)
 
 val file : writer -> string
 val close : writer -> unit

@@ -51,40 +51,55 @@ let run_one ?timeout ~retries ~salt ~fail ~cache ~journal
        is approximate on tasks that never trigger a collection. *)
     let minor0 = Gc.minor_words () in
     let major0 = (Gc.quick_stat ()).Gc.major_words in
+    (* The whole attempt — run body *and* cache publication — sits inside
+       the exception scrutinee: a store that crashes mid-write must take
+       the retry path exactly like a crashing experiment, never abort the
+       campaign.  (The cache itself guarantees a crashed store publishes
+       nothing; see Cache.store.) *)
     match
       forced_failure ();
-      entry.run ()
-    with
-    | result ->
-        let duration = now () -. t0 in
-        let gc =
-          ( Gc.minor_words () -. minor0,
-            (Gc.quick_stat ()).Gc.major_words -. major0 )
-        in
-        let timed_out =
-          match timeout with Some t -> duration > t | None -> false
-        in
-        if timed_out then begin
-          finish_event journal name Journal.Timed_out duration None;
-          {
-            name;
-            outcome = Journal.Timed_out;
-            duration;
-            attempts = k;
-            result = None;
-          }
-        end
-        else begin
+      Fault.hit Fault.Task_run;
+      let result = entry.run () in
+      let duration = now () -. t0 in
+      let gc =
+        ( Gc.minor_words () -. minor0,
+          (Gc.quick_stat ()).Gc.major_words -. major0 )
+      in
+      let overrun =
+        match timeout with Some t when duration > t -> Some t | _ -> None
+      in
+      match overrun with
+      | Some limit ->
+          (* Timeouts are cooperative: the overrun is only detectable
+             after the task returns, so journal a distinct post-hoc
+             marker carrying the budget and the real duration — the
+             Task_finish timestamp is when detection happened, not when
+             the budget expired. *)
+          Journal.write journal
+            (Journal.Task_timeout { name; at = now (); limit; duration });
+          `Timed_out duration
+      | None ->
           Cache.store cache ~key ~name ~spec:entry.spec ~duration result;
-          finish_event ~gc journal name Journal.Done duration (Some result);
-          {
-            name;
-            outcome = Journal.Done;
-            duration;
-            attempts = k;
-            result = Some result;
-          }
-        end
+          `Done (duration, gc, result)
+    with
+    | `Timed_out duration ->
+        finish_event journal name Journal.Timed_out duration None;
+        {
+          name;
+          outcome = Journal.Timed_out;
+          duration;
+          attempts = k;
+          result = None;
+        }
+    | `Done (duration, gc, result) ->
+        finish_event ~gc journal name Journal.Done duration (Some result);
+        {
+          name;
+          outcome = Journal.Done;
+          duration;
+          attempts = k;
+          result = Some result;
+        }
     | exception e ->
         let duration = now () -. t0 in
         let error = Printexc.to_string e in

@@ -3,11 +3,25 @@
     Cache hits are resolved inline (no domain, no simulation); the
     remaining tasks run via [Aqt_util.Parallel.map].  A task that raises
     is retried up to [retries] extra times and then reported as [Failed]
-    — one crashing experiment never aborts the campaign.  Timeouts are
+    — one crashing experiment never aborts the campaign.  The retry scope
+    covers the cache publication too: a [Cache.store] that fails mid-write
+    (disk full, crash) re-runs the task instead of killing the campaign,
+    and the cache's temp-file protocol guarantees nothing torn was
+    published.  Timeouts are
     wall-clock and *cooperative*: a domain cannot be killed mid-OCaml
     code, so a task that overruns its budget is allowed to finish but is
     reported as [Timed_out] and its result is not cached (a later run,
-    e.g. with a larger budget, will re-execute it). *)
+    e.g. with a larger budget, will re-execute it).
+
+    Known limitation: because the overrun check runs only {e after} the
+    task returns, a genuinely hung experiment (infinite loop, deadlock)
+    is never interrupted — the campaign waits for it.  When an overrun
+    {e is} detected, the journal records a distinct post-hoc
+    [Journal.Task_timeout] event with the configured budget and the real
+    duration, so tooling can tell "ran 30s against a 10s budget" from
+    "was stopped at 10s" (the latter never happens).  The fault-injection
+    suite ([Aqt_check.Faults]) covers both the within-budget and the
+    overrun path. *)
 
 type task_result = {
   name : string;

@@ -1,4 +1,4 @@
-type 'b outcome = Value of 'b | Failed of exn
+type 'b outcome = Value of 'b | Failed of exn * Printexc.raw_backtrace
 
 let map ?workers ?(chunk = 1) ?on_done f xs =
   let n = List.length xs in
@@ -31,7 +31,13 @@ let map ?workers ?(chunk = 1) ?on_done f xs =
         if start < n then begin
           let stop = min n (start + chunk) in
           for i = start to stop - 1 do
-            let r = try Value (f tasks.(i)) with e -> Failed e in
+            (* Capture the backtrace at the failure site: the exception is
+               re-raised on the caller's domain, where the original trace
+               would otherwise be lost. *)
+            let r =
+              try Value (f tasks.(i))
+              with e -> Failed (e, Printexc.get_raw_backtrace ())
+            in
             results.(i) <- Some r;
             progress (1 + Atomic.fetch_and_add completed 1)
           done;
@@ -48,6 +54,6 @@ let map ?workers ?(chunk = 1) ?on_done f xs =
     Array.to_list results
     |> List.map (function
          | Some (Value v) -> v
-         | Some (Failed e) -> raise e
+         | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end

@@ -16,7 +16,9 @@ val map :
 (** [map ~workers f xs] applies [f] to every element, preserving order.
     [workers] defaults to [Domain.recommended_domain_count - 1], at least 1;
     with one worker it degrades to [List.map].  Exceptions raised by [f] are
-    re-raised in the caller (the first one encountered in input order).
+    re-raised in the caller (the first one encountered in input order), with
+    the backtrace captured at the failure site inside the worker domain —
+    not the useless one of the re-raise.
 
     [chunk] (default 1) makes each idle worker claim that many consecutive
     tasks at a time: larger chunks amortize contention on the shared task

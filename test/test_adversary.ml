@@ -406,6 +406,92 @@ let phased_bad_duration () =
     (Invalid_argument "Phased: phase returned non-positive duration")
     (fun () -> ignore (Sim.run ~net ~driver ~horizon:3 ()))
 
+(* ------------------------------------------------------------------ *)
+(* scan_edge: the exported potential scan                               *)
+(* ------------------------------------------------------------------ *)
+
+let scan_edge_empty_sentinel () =
+  (* An idle edge is trivially admissible: the sentinel sits strictly
+     below every threshold the callers compare against. *)
+  check_bool "sentinel" true (RC.scan_edge ~rate:R.half [||] = (min_int, None))
+
+let scan_edge_single_burst () =
+  (* One burst of C at time T: the worst interval is [T,T] and the excess
+     is q*C - p, independent of T. *)
+  let check_at ~p ~q ~t ~c =
+    let excess, witness = RC.scan_edge ~rate:(R.make p q) [| (t, c) |] in
+    check_int "excess" ((q * c) - p) excess;
+    check_bool "witness" true (witness = Some (t, t, c))
+  in
+  check_at ~p:1 ~q:2 ~t:4 ~c:3;
+  check_at ~p:2 ~q:5 ~t:1 ~c:1;
+  check_at ~p:1 ~q:1 ~t:100 ~c:7
+
+let scan_edge_rate_threshold () =
+  (* Exactly-rate traffic sits at the q-1 boundary; one extra packet
+     crosses it.  (The rate condition on the edge is excess <= q - 1.) *)
+  let rate = R.make 1 3 in
+  let legal = [| (3, 1); (6, 1); (9, 1) |] in
+  let excess, _ = RC.scan_edge ~rate legal in
+  check_bool "legal at boundary" true (excess <= 2);
+  let burst = [| (3, 1); (4, 1) |] in
+  let excess, witness = RC.scan_edge ~rate burst in
+  check_bool "burst crosses" true (excess > 2);
+  check_bool "burst witness" true (witness = Some (3, 4, 2))
+
+let scan_edge_near_overflow () =
+  (* Huge denominator and multiplicities: intermediate products reach
+     ~2e17, well inside 63-bit ints but far outside naive 32-bit range. *)
+  let q = 1_000_000_000 in
+  let c = 100_000_000 in
+  let excess, witness =
+    RC.scan_edge ~rate:(R.make 1 q) [| (1, c); (2, c) |]
+  in
+  check_bool "exact excess" true (excess = (q * 2 * c) - 2);
+  check_bool "witness spans both" true (witness = Some (1, 2, 2 * c))
+
+let scan_edge_agrees_with_brute () =
+  (* Random single-edge logs: the scan's accept/reject decision must match
+     the all-intervals brute-force checker. *)
+  let prng = Aqt_util.Prng.create 2002 in
+  for _ = 1 to 200 do
+    let p = 1 + Aqt_util.Prng.int prng 4 in
+    let q = p + Aqt_util.Prng.int prng 6 in
+    let rate = R.make p q in
+    (* Strictly increasing times with random gaps and multiplicities. *)
+    let n = 1 + Aqt_util.Prng.int prng 12 in
+    let t = ref 0 in
+    let events =
+      Array.init n (fun _ ->
+          t := !t + 1 + Aqt_util.Prng.int prng 4;
+          (!t, 1 + Aqt_util.Prng.int prng 3))
+    in
+    let excess, _ = RC.scan_edge ~rate events in
+    let log =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun (time, c) -> Array.make c (time, [| 0 |]))
+              events))
+    in
+    let brute_ok = RC.check_rate_brute ~m:1 ~rate log = Ok () in
+    check_bool
+      (Printf.sprintf "agreement at %d/%d" p q)
+      brute_ok
+      (excess <= R.den rate - 1)
+  done
+
+let scan_edge_rejects_malformed () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Rate_check.scan_edge: times must be strictly increasing")
+    (fun () -> ignore (RC.scan_edge ~rate:R.half [| (3, 1); (3, 1) |]));
+  Alcotest.check_raises "pre-step-1"
+    (Invalid_argument "Rate_check.scan_edge: event before step 1")
+    (fun () -> ignore (RC.scan_edge ~rate:R.half [| (0, 1) |]));
+  Alcotest.check_raises "zero multiplicity"
+    (Invalid_argument "Rate_check.scan_edge: multiplicity must be positive")
+    (fun () -> ignore (RC.scan_edge ~rate:R.half [| (2, 0) |]))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "aqt_adversary"
@@ -429,6 +515,18 @@ let () =
           Alcotest.test_case "windowed" `Quick windowed_check;
           Alcotest.test_case "leaky bucket" `Quick leaky_check;
           Alcotest.test_case "burstiness" `Quick burstiness_measure;
+          Alcotest.test_case "scan_edge empty sentinel" `Quick
+            scan_edge_empty_sentinel;
+          Alcotest.test_case "scan_edge single burst" `Quick
+            scan_edge_single_burst;
+          Alcotest.test_case "scan_edge rate threshold" `Quick
+            scan_edge_rate_threshold;
+          Alcotest.test_case "scan_edge near overflow" `Quick
+            scan_edge_near_overflow;
+          Alcotest.test_case "scan_edge agrees with brute" `Quick
+            scan_edge_agrees_with_brute;
+          Alcotest.test_case "scan_edge rejects malformed" `Quick
+            scan_edge_rejects_malformed;
           q prop_fast_equals_brute;
           q prop_windowed_equals_brute;
           q prop_flows_are_rate_legal;

@@ -177,6 +177,48 @@ let cache_corrupt_is_miss () =
   close_out oc;
   check_bool "corrupt file is a miss" true (Cache.lookup cache ~key = None)
 
+let cache_store_over_existing () =
+  (* Two domains (or a retry after a mid-store crash) may both publish the
+     same key: the second rename lands on an existing file and must
+     succeed, leaving a readable entry and no temp debris. *)
+  let cache = Cache.create ~dir:(temp_dir ()) in
+  let entry = dummy_entry "e1" in
+  let key = Cache.key entry in
+  let r = sample_result () in
+  Cache.store cache ~key ~name:"e1" ~spec:entry.Registry.spec ~duration:0.1 r;
+  Cache.store cache ~key ~name:"e1" ~spec:entry.Registry.spec ~duration:0.2 r;
+  (match Cache.lookup cache ~key with
+  | None -> Alcotest.fail "hit expected after double store"
+  | Some c -> check_bool "latest duration wins" true (c.Cache.duration = 0.2));
+  check_int "single entry" 1 (List.length (Cache.entries cache));
+  let debris =
+    Sys.readdir (Cache.dir cache)
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  check_bool "no temp files left" true (debris = [])
+
+let cache_crashed_store_publishes_nothing () =
+  (* A crash between temp-write and rename (injected at the Cache_write
+     fault point) must leave neither a visible entry nor a temp file. *)
+  let cache = Cache.create ~dir:(temp_dir ()) in
+  let entry = dummy_entry "e1" in
+  let key = Cache.key entry in
+  Aqt_harness.Fault.install (function
+    | Aqt_harness.Fault.Cache_write ->
+        raise (Aqt_harness.Fault.Injected "mid-store crash")
+    | _ -> ());
+  (try
+     Fun.protect ~finally:Aqt_harness.Fault.clear (fun () ->
+         Cache.store cache ~key ~name:"e1" ~spec:entry.Registry.spec
+           ~duration:0.1 (sample_result ());
+         Alcotest.fail "store should have raised")
+   with Aqt_harness.Fault.Injected _ -> ());
+  check_bool "nothing published" true (Cache.lookup cache ~key = None);
+  let files = try Sys.readdir (Cache.dir cache) with Sys_error _ -> [||] in
+  check_bool "no temp files left" true
+    (Array.for_all (fun f -> not (Filename.check_suffix f ".tmp")) files)
+
 (* ------------------------------------------------------------------ *)
 (* Journal                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -241,6 +283,43 @@ let journal_roundtrip () =
      done
    with End_of_file -> close_in ic);
   check_int "one event per line" (List.length events) !lines
+
+let journal_timeout_event_roundtrip () =
+  let ev =
+    Journal.Task_timeout
+      { name = "slow"; at = 99.5; limit = 0.25; duration = 1.75 }
+  in
+  check_bool "json round-trip" true
+    (Journal.event_of_json (Journal.event_to_json ev) = ev);
+  let dir = temp_dir () in
+  let path = Filename.concat dir "run.jsonl" in
+  let w = Journal.create path in
+  Journal.write w ev;
+  Journal.close w;
+  check_bool "file round-trip" true (Journal.load path = [ ev ])
+
+let journal_degrades_on_append_failure () =
+  (* Journaling is observability, not correctness: once an append fails
+     the writer goes quiet instead of failing the campaign, and the file
+     keeps the readable prefix written before the failure. *)
+  let dir = temp_dir () in
+  let path = Filename.concat dir "run.jsonl" in
+  let w = Journal.create path in
+  let before = Journal.Task_start { name = "a"; at = 1.; attempt = 1 } in
+  Journal.write w before;
+  check_bool "healthy before fault" false (Journal.degraded w);
+  Aqt_harness.Fault.install (function
+    | Aqt_harness.Fault.Journal_append ->
+        raise (Aqt_harness.Fault.Injected "disk full")
+    | _ -> ());
+  Fun.protect ~finally:Aqt_harness.Fault.clear (fun () ->
+      (* Must not raise. *)
+      Journal.write w (Journal.Task_start { name = "b"; at = 2.; attempt = 1 }));
+  check_bool "degraded after fault" true (Journal.degraded w);
+  (* Still a no-op with the hook gone: degradation is sticky. *)
+  Journal.write w (Journal.Task_start { name = "c"; at = 3.; attempt = 1 });
+  Journal.close w;
+  check_bool "prefix preserved" true (Journal.load path = [ before ])
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
@@ -432,9 +511,19 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick cache_roundtrip;
           Alcotest.test_case "corrupt file" `Quick cache_corrupt_is_miss;
+          Alcotest.test_case "store over existing" `Quick
+            cache_store_over_existing;
+          Alcotest.test_case "crashed store publishes nothing" `Quick
+            cache_crashed_store_publishes_nothing;
         ] );
       ( "journal",
-        [ Alcotest.test_case "jsonl round-trip" `Quick journal_roundtrip ] );
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick journal_roundtrip;
+          Alcotest.test_case "timeout event round-trip" `Quick
+            journal_timeout_event_roundtrip;
+          Alcotest.test_case "degrades on append failure" `Quick
+            journal_degrades_on_append_failure;
+        ] );
       ( "scheduler",
         [
           Alcotest.test_case "cache flow" `Quick scheduler_cache_flow;

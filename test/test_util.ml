@@ -415,6 +415,30 @@ let parallel_propagates_exceptions () =
            (fun x -> if x = 42 then failwith "boom" else x)
            (List.init 100 Fun.id)))
 
+exception Deep of int
+
+(* The first failure's backtrace must survive the trip across the worker
+   domain: Parallel.map captures the raw backtrace at the raise site and
+   re-raises with [Printexc.raise_with_backtrace], so the caller's
+   [get_raw_backtrace] still points into the worker's stack. *)
+let parallel_preserves_backtraces () =
+  Printexc.record_backtrace true;
+  let rec burrow n = if n = 0 then raise (Deep 42) else 1 + burrow (n - 1) in
+  match
+    Par.map ~workers:2
+      (fun x ->
+        Printexc.record_backtrace true;
+        if x = 7 then burrow 5 else x)
+      (List.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Deep to propagate"
+  | exception Deep 42 ->
+      let bt = Printexc.get_raw_backtrace () in
+      check_bool "backtrace non-empty" true
+        (Printexc.raw_backtrace_length bt > 0)
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
 let parallel_rejects_bad_workers () =
   Alcotest.check_raises "workers >= 1"
     (Invalid_argument "Parallel.map: workers must be >= 1") (fun () ->
@@ -571,6 +595,8 @@ let () =
             parallel_matches_sequential;
           Alcotest.test_case "exception propagation" `Quick
             parallel_propagates_exceptions;
+          Alcotest.test_case "backtrace preservation" `Quick
+            parallel_preserves_backtraces;
           Alcotest.test_case "bad workers" `Quick parallel_rejects_bad_workers;
           Alcotest.test_case "simulation isolation" `Quick
             parallel_simulations_deterministic;
