@@ -719,13 +719,36 @@ let campaign_cmd =
       Term.(const run $ dir_arg $ only_arg)
   in
   let clean_cmd =
-    let run dir =
-      let n = Campaign.clean { Campaign.default_options with dir } in
-      Printf.printf "removed %d file(s) under %s\n" n dir
+    let max_bytes =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"BYTES"
+            ~doc:
+              "Instead of deleting everything, evict the oldest cached \
+               results until the cache payload is at most $(docv) (journals \
+               are left alone).")
+    in
+    let run dir max_bytes =
+      match max_bytes with
+      | None ->
+          let n = Campaign.clean { Campaign.default_options with dir } in
+          Printf.printf "removed %d file(s) under %s\n" n dir
+      | Some max_bytes when max_bytes < 0 ->
+          Printf.eprintf "aqt_sim campaign: --max-bytes must be >= 0\n";
+          exit 2
+      | Some max_bytes ->
+          let n =
+            Campaign.trim { Campaign.default_options with dir } ~max_bytes
+          in
+          Printf.printf "evicted %d cache file(s) under %s\n" n dir
     in
     Cmd.v
-      (Cmd.info "clean" ~doc:"Delete cached results and journals under DIR.")
-      Term.(const run $ dir_arg)
+      (Cmd.info "clean"
+         ~doc:
+           "Delete cached results and journals under DIR, or with \
+            $(b,--max-bytes) evict oldest-first down to a size budget.")
+      Term.(const run $ dir_arg $ max_bytes)
   in
   Cmd.group
     (Cmd.info "campaign"
@@ -917,6 +940,132 @@ let bench_gate_cmd =
     Term.(const run $ baseline $ current $ tolerance)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the rate-admission simulation service                        *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Server = Aqt_serve.Server in
+  let module Selftest = Aqt_serve.Selftest in
+  let dflt = Server.default_config in
+  let port =
+    Arg.(
+      value & opt int dflt.Server.port
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let host =
+    Arg.(
+      value & opt string dflt.Server.host
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let workers =
+    Arg.(
+      value & opt int dflt.Server.workers
+      & info [ "workers"; "j" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let rate =
+    Arg.(
+      value & opt float dflt.Server.rho
+      & info [ "rate" ] ~docv:"RHO"
+          ~doc:
+            "Admission rate rho in requests/second: over any interval t at \
+             most rho*t + BURST requests are admitted, the rest are shed \
+             with 429.")
+  in
+  let burst =
+    Arg.(
+      value & opt int dflt.Server.sigma
+      & info [ "burst" ] ~docv:"SIGMA"
+          ~doc:
+            "Burst budget sigma: token-bucket depth and the worker queue's \
+             capacity, so the queue depth is bounded by SIGMA by \
+             construction.")
+  in
+  let dir =
+    Arg.(
+      value & opt string dflt.Server.campaign_dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Campaign state directory (result cache + journals).")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt float dflt.Server.snapshot_every
+      & info [ "snapshot-every" ] ~docv:"SECONDS"
+          ~doc:"Metrics journal snapshot period (0 disables).")
+  in
+  let cache_max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Trim the result cache oldest-first to this size budget on \
+             every snapshot tick.")
+  in
+  let no_journal =
+    Arg.(value & flag & info [ "no-journal" ] ~doc:"Do not write a journal.")
+  in
+  let selftest =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Boot a throwaway server on an ephemeral port, drive it through \
+             admissible load, overload, cache-warm and graceful-drain \
+             phases, and exit 0 iff all pass.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No chatter.") in
+  let run port host workers rate burst dir snapshot_every cache_max_bytes
+      no_journal selftest quiet =
+    if selftest then exit (if Selftest.run ~quiet () then 0 else 1)
+    else begin
+      let cfg =
+        {
+          Server.default_config with
+          Server.host;
+          port;
+          workers;
+          rho = rate;
+          sigma = burst;
+          campaign_dir = dir;
+          snapshot_every;
+          cache_max_bytes;
+          journal = not no_journal;
+          quiet;
+        }
+      in
+      match
+        Server.start ~registry:(Aqt_experiments.registry ())
+          ~figures:(Aqt_report.Report.default_figures ())
+          cfg
+      with
+      | srv ->
+          let stop _ = Server.request_stop srv in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Server.wait srv
+      | exception Invalid_argument msg ->
+          Printf.eprintf "aqt_sim serve: %s\n" msg;
+          exit 2
+      | exception Unix.Unix_error (err, fn, _) ->
+          Printf.eprintf "aqt_sim serve: %s: %s\n" fn (Unix.error_message err);
+          exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the simulation service: an HTTP daemon whose (rho,sigma) \
+          token-bucket admission is the paper's rate-bounded adversary \
+          constraint applied to its own request stream.  Sweeps and \
+          experiments are content-addressed into the shared campaign cache; \
+          metrics are exported at /metrics in Prometheus text format and \
+          journalled periodically.  SIGTERM/SIGINT drain gracefully.")
+    Term.(
+      const run $ port $ host $ workers $ rate $ burst $ dir $ snapshot_every
+      $ cache_max_bytes $ no_journal $ selftest $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* check: differential conformance + fault-injection self-test         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1050,4 +1199,5 @@ let () =
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
             spacetime_cmd; campaign_cmd; report_cmd; bench_gate_cmd; check_cmd;
+            serve_cmd;
           ]))

@@ -112,3 +112,34 @@ let clean t =
   let files = cache_files t in
   List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
   List.length files
+
+let trim t ~max_bytes =
+  if max_bytes < 0 then invalid_arg "Cache.trim: max_bytes must be >= 0";
+  let info =
+    List.filter_map
+      (fun f ->
+        match Unix.stat f with
+        | st -> Some (f, st.Unix.st_size, st.Unix.st_mtime)
+        | exception Unix.Unix_error _ -> None)
+      (cache_files t)
+  in
+  (* Oldest first by mtime: the mtime of a published entry is its store
+     time (rename preserves the temp file's), so this evicts in saved_at
+     order without parsing every payload. *)
+  let info =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) info
+  in
+  let total =
+    ref (List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 info)
+  in
+  let removed = ref 0 in
+  List.iter
+    (fun (f, sz, _) ->
+      if !total > max_bytes then
+        try
+          Sys.remove f;
+          total := !total - sz;
+          incr removed
+        with Sys_error _ -> ())
+    info;
+  !removed

@@ -40,3 +40,11 @@ val entries : t -> cached list
 
 val clean : t -> int
 (** Delete all cache files; returns how many were removed. *)
+
+val trim : t -> max_bytes:int -> int
+(** Evict oldest-first (by file mtime, which is the store time) until the
+    cache directory's total payload size is at most [max_bytes]; returns
+    how many files were removed.  Eviction is always safe: a removed
+    entry is simply a future miss.  This is how a long-running daemon
+    keeps the content-addressed cache bounded.
+    @raise Invalid_argument if [max_bytes < 0]. *)

@@ -167,6 +167,10 @@ let status ~registry options =
   Printf.printf "%d/%d cached under %s\n" !hits (List.length entries)
     (Cache.dir cache)
 
+let trim options ~max_bytes =
+  let cache = Cache.create ~dir:(Filename.concat options.dir "cache") in
+  Cache.trim cache ~max_bytes
+
 let clean options =
   let cache = Cache.create ~dir:(Filename.concat options.dir "cache") in
   let removed = Cache.clean cache in

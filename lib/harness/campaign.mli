@@ -42,3 +42,8 @@ val status : registry:Registry.t -> options -> unit
 val clean : options -> int
 (** Remove cached results and journals under [options.dir]; returns the
     number of files deleted. *)
+
+val trim : options -> max_bytes:int -> int
+(** Size-capped sweep of the result cache under [options.dir]: evict
+    oldest entries until at most [max_bytes] remain ({!Cache.trim});
+    journals are untouched.  Returns the number of files removed. *)

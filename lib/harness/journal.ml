@@ -33,6 +33,7 @@ type event =
       failed : int;
       duration : float;
     }
+  | Snapshot of { at : float; label : string; values : (string * float) list }
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -134,6 +135,15 @@ let event_to_json = function
           ("failed", Jsonx.Int failed);
           ("duration", Jsonx.Float duration);
         ]
+  | Snapshot { at; label; values } ->
+      Jsonx.Obj
+        [
+          ("ev", Jsonx.Str "snapshot");
+          ("at", Jsonx.Float at);
+          ("label", Jsonx.Str label);
+          ( "values",
+            Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Float v)) values) );
+        ]
 
 let event_of_json j =
   match Jsonx.to_str (Jsonx.get "ev" j) with
@@ -196,6 +206,16 @@ let event_of_json j =
           cached = Jsonx.to_int (Jsonx.get "cached" j);
           failed = Jsonx.to_int (Jsonx.get "failed" j);
           duration = Jsonx.to_float (Jsonx.get "duration" j);
+        }
+  | "snapshot" ->
+      Snapshot
+        {
+          at = Jsonx.to_float (Jsonx.get "at" j);
+          label = Jsonx.to_str (Jsonx.get "label" j);
+          values =
+            List.map
+              (fun (k, v) -> (k, Jsonx.to_float v))
+              (Jsonx.to_obj (Jsonx.get "values" j));
         }
   | ev -> failwith (Printf.sprintf "Journal: unknown event %S" ev)
 

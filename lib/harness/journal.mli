@@ -55,6 +55,11 @@ type event =
       failed : int;
       duration : float;
     }
+  | Snapshot of { at : float; label : string; values : (string * float) list }
+      (** Periodic state dump from a long-running process — the serve
+          daemon journals its metrics registry this way (label
+          ["serve.metrics"], one value per series) so a scrape-less
+          deployment still leaves a load time-series behind. *)
 
 val event_to_json : event -> Jsonx.t
 val event_of_json : Jsonx.t -> event  (** @raise Failure on mismatch. *)

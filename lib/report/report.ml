@@ -505,26 +505,8 @@ let index_md ~registry figures =
     figures;
   Buffer.contents buf
 
-let generate ?figures ?only
-    ?(bench_csv = Filename.concat "bench_results" "b_microbench.csv")
-    ~registry ~options ~out () =
-  let figures =
-    match figures with Some fs -> fs | None -> default_figures ()
-  in
-  let figures =
-    match only with
-    | None | Some [] -> figures
-    | Some ids ->
-        List.map
-          (fun id ->
-            match List.find_opt (fun f -> f.id = id) figures with
-            | Some f -> f
-            | None ->
-                failwith
-                  (Printf.sprintf "report: unknown figure %S (known: %s)" id
-                     (String.concat ", " (List.map (fun f -> f.id) figures))))
-          ids
-  in
+let build_ctx ?(bench_csv = Filename.concat "bench_results" "b_microbench.csv")
+    ~registry ~options figures =
   let needed = dedup (List.concat_map (fun f -> f.experiments) figures) in
   let results, trajectories =
     if needed = [] then ([], [])
@@ -579,7 +561,27 @@ let generate ?figures ?only
           go [])
     end
   in
-  let ctx = { results; trajectories; bench } in
+  { results; trajectories; bench }
+
+let generate ?figures ?only ?bench_csv ~registry ~options ~out () =
+  let figures =
+    match figures with Some fs -> fs | None -> default_figures ()
+  in
+  let figures =
+    match only with
+    | None | Some [] -> figures
+    | Some ids ->
+        List.map
+          (fun id ->
+            match List.find_opt (fun f -> f.id = id) figures with
+            | Some f -> f
+            | None ->
+                failwith
+                  (Printf.sprintf "report: unknown figure %S (known: %s)" id
+                     (String.concat ", " (List.map (fun f -> f.id) figures))))
+          ids
+  in
+  let ctx = build_ctx ?bench_csv ~registry ~options figures in
   mkdir_p out;
   let paths =
     List.map

@@ -72,6 +72,19 @@ val trajectory_points :
     {!Aqt_harness.Registry.result} exchange format); rows missing either
     key are skipped. *)
 
+val build_ctx :
+  ?bench_csv:string ->
+  registry:Aqt_harness.Registry.t ->
+  options:Aqt_harness.Campaign.options ->
+  figure list ->
+  ctx
+(** Assemble the data context for a set of figures without rendering
+    anything: run the union of their declared experiments through the
+    campaign (cache hits instant), recover journalled trajectories, and
+    parse the bench CSV.  [generate] is [build_ctx] plus rendering to
+    disk; the serve daemon uses [build_ctx] directly to render single
+    figures in memory. *)
+
 val generate :
   ?figures:figure list ->
   ?only:string list ->

@@ -1,0 +1,48 @@
+type t = {
+  rho_ : float;
+  sigma_ : int;
+  now : unit -> float;
+  lock : Mutex.t;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ?now ~rho ~sigma () =
+  if not (rho > 0.) then invalid_arg "Bucket.create: rho must be > 0";
+  if sigma < 1 then invalid_arg "Bucket.create: sigma must be >= 1";
+  let now = match now with Some f -> f | None -> Unix.gettimeofday in
+  {
+    rho_ = rho;
+    sigma_ = sigma;
+    now;
+    lock = Mutex.create ();
+    tokens = float_of_int sigma;
+    last = now ();
+  }
+
+(* Caller holds the lock. *)
+let refill t =
+  let n = t.now () in
+  let dt = n -. t.last in
+  if dt > 0. then begin
+    t.tokens <- Float.min (float_of_int t.sigma_) (t.tokens +. (dt *. t.rho_));
+    t.last <- n
+  end
+
+let try_take t =
+  Mutex.lock t.lock;
+  refill t;
+  let ok = t.tokens >= 1. in
+  if ok then t.tokens <- t.tokens -. 1.;
+  Mutex.unlock t.lock;
+  ok
+
+let level t =
+  Mutex.lock t.lock;
+  refill t;
+  let v = t.tokens in
+  Mutex.unlock t.lock;
+  v
+
+let rho t = t.rho_
+let sigma t = t.sigma_

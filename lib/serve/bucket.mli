@@ -1,0 +1,31 @@
+(** (ρ,σ) token-bucket admission control.
+
+    The serving layer's admission rule is the same constraint the paper
+    places on its adversary: over any interval of length [t] at most
+    [ρ·t + σ] requests enter the system — Rosenbaum's (ρ,σ)-token-bucket
+    formulation of the (w,r) rate-bounded adversary, applied to
+    ourselves.  The bucket holds at most [σ] tokens, refills
+    continuously at [ρ] tokens/second, and {!try_take} admits exactly
+    when a whole token is available, so the admitted request stream is
+    (ρ,σ)-bounded by construction and everything past it is shed at the
+    door instead of queueing unboundedly.
+
+    Domain-safe: a single mutex guards the refill-and-take, which is a
+    handful of float operations. *)
+
+type t
+
+val create : ?now:(unit -> float) -> rho:float -> sigma:int -> unit -> t
+(** [create ~rho ~sigma ()] starts full ([σ] tokens).  [now] defaults
+    to [Unix.gettimeofday]; tests inject a fake clock to drive refill
+    deterministically.
+    @raise Invalid_argument unless [rho > 0] and [sigma >= 1]. *)
+
+val try_take : t -> bool
+(** Admit one request if a token is available; never blocks. *)
+
+val level : t -> float
+(** Current token count (after refill); for metrics export. *)
+
+val rho : t -> float
+val sigma : t -> int

@@ -1,0 +1,318 @@
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Timeout
+  | Closed
+  | Too_large of string
+  | Malformed of string
+
+let error_to_string = function
+  | Timeout -> "timeout"
+  | Closed -> "peer closed"
+  | Too_large what -> "too large: " ^ what
+  | Malformed what -> "malformed: " ^ what
+
+exception Err of error
+
+(* ------------------------------------------------------------------ *)
+(* Percent decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' ->
+        Buffer.add_char buf ' ';
+        incr i
+    | '%' when !i + 2 < n -> (
+        match (hex_digit s.[!i + 1], hex_digit s.[!i + 2]) with
+        | Some a, Some b ->
+            Buffer.add_char buf (Char.chr ((16 * a) + b));
+            i := !i + 3
+        | _ ->
+            Buffer.add_char buf '%';
+            incr i)
+    | c ->
+        Buffer.add_char buf c;
+        incr i)
+  done;
+  Buffer.contents buf
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (percent_decode kv, "")
+             | Some i ->
+                 Some
+                   ( percent_decode (String.sub kv 0 i),
+                     percent_decode
+                       (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+(* ------------------------------------------------------------------ *)
+(* Buffered reading                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+let reader fd = { fd; buf = Bytes.create 8192; lo = 0; hi = 0 }
+
+let rec refill r =
+  match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+  | 0 -> raise (Err Closed)
+  | n ->
+      r.lo <- 0;
+      r.hi <- n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise (Err Timeout)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      raise (Err Closed)
+
+let read_byte r =
+  if r.lo >= r.hi then refill r;
+  let c = Bytes.get r.buf r.lo in
+  r.lo <- r.lo + 1;
+  c
+
+(* One header/request line, CRLF (or bare LF) terminated, CR stripped. *)
+let read_line r ~max =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match read_byte r with
+    | '\n' ->
+        let s = Buffer.contents buf in
+        let l = String.length s in
+        if l > 0 && s.[l - 1] = '\r' then String.sub s 0 (l - 1) else s
+    | c ->
+        if Buffer.length buf >= max then raise (Err (Too_large "line"));
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let read_exact r n =
+  let buf = Buffer.create n in
+  let rec go () =
+    if Buffer.length buf >= n then Buffer.contents buf
+    else begin
+      if r.lo >= r.hi then refill r;
+      let take = min (r.hi - r.lo) (n - Buffer.length buf) in
+      Buffer.add_subbytes buf r.buf r.lo take;
+      r.lo <- r.lo + take;
+      go ()
+    end
+  in
+  go ()
+
+let read_to_eof r ~max =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match refill r with
+    | () ->
+        if Buffer.length buf + (r.hi - r.lo) > max then
+          raise (Err (Too_large "body"));
+        Buffer.add_subbytes buf r.buf r.lo (r.hi - r.lo);
+        r.lo <- r.hi;
+        go ()
+    | exception Err Closed -> Buffer.contents buf
+  in
+  (* Anything still buffered counts too. *)
+  Buffer.add_subbytes buf r.buf r.lo (r.hi - r.lo);
+  r.lo <- r.hi;
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let header req name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (percent_decode target, [])
+  | Some i ->
+      ( percent_decode (String.sub target 0 i),
+        parse_query (String.sub target (i + 1) (String.length target - i - 1))
+      )
+
+let read_headers r ~max_line ~max_headers =
+  let rec go acc k =
+    let line = read_line r ~max:max_line in
+    if line = "" then List.rev acc
+    else if k >= max_headers then raise (Err (Too_large "headers"))
+    else
+      match String.index_opt line ':' with
+      | None | Some 0 -> raise (Err (Malformed "header without name"))
+      | Some i ->
+          let name =
+            String.lowercase_ascii (String.trim (String.sub line 0 i))
+          in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          go ((name, value) :: acc) (k + 1)
+  in
+  go [] 0
+
+let read_request ?(max_line = 8192) ?(max_headers = 64)
+    ?(max_body = 1_048_576) fd =
+  let r = reader fd in
+  try
+    let line = read_line r ~max:max_line in
+    (* Tolerate one leading blank line (RFC 9112 §2.2). *)
+    let line = if line = "" then read_line r ~max:max_line else line in
+    match List.filter (( <> ) "") (String.split_on_char ' ' line) with
+    | [ meth; target; version ] ->
+        if
+          not
+            (String.length version >= 7 && String.sub version 0 7 = "HTTP/1.")
+        then raise (Err (Malformed "unsupported version"));
+        let meth = String.uppercase_ascii meth in
+        let headers = read_headers r ~max_line ~max_headers in
+        if List.mem_assoc "transfer-encoding" headers then
+          raise (Err (Malformed "transfer-encoding unsupported"));
+        let body =
+          match List.assoc_opt "content-length" headers with
+          | None -> ""
+          | Some v -> (
+              match int_of_string_opt (String.trim v) with
+              | None -> raise (Err (Malformed "bad content-length"))
+              | Some n when n < 0 -> raise (Err (Malformed "bad content-length"))
+              | Some n when n > max_body -> raise (Err (Too_large "body"))
+              | Some n -> read_exact r n)
+        in
+        let path, query = split_target target in
+        Ok { meth; target; path; query; headers; body }
+    | _ -> raise (Err (Malformed "bad request line"))
+  with Err e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Response writing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let write_response ?(headers = []) ?(head_only = false) fd ~status ~body =
+  let buf = Buffer.create (256 + String.length body) in
+  Printf.bprintf buf "HTTP/1.1 %d %s\r\n" status (status_text status);
+  let has_ct =
+    List.exists
+      (fun (k, _) -> String.lowercase_ascii k = "content-type")
+      headers
+  in
+  if not has_ct then
+    Buffer.add_string buf "Content-Type: text/plain; charset=utf-8\r\n";
+  List.iter (fun (k, v) -> Printf.bprintf buf "%s: %s\r\n" k v) headers;
+  Printf.bprintf buf "Content-Length: %d\r\n" (String.length body);
+  Buffer.add_string buf "Connection: close\r\n\r\n";
+  if not head_only then Buffer.add_string buf body;
+  let s = Buffer.contents buf in
+  write_all fd s 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type response = {
+  status : int;
+  resp_headers : (string * string) list;
+  body : string;
+}
+
+let request ?(timeout = 5.0) ?(meth = "GET") ?(req_headers = []) ?body ~port
+    path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let buf = Buffer.create 256 in
+        Printf.bprintf buf "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\n" meth path;
+        List.iter
+          (fun (k, v) -> Printf.bprintf buf "%s: %s\r\n" k v)
+          req_headers;
+        (match body with
+        | Some b ->
+            Printf.bprintf buf "Content-Length: %d\r\n\r\n" (String.length b);
+            Buffer.add_string buf b
+        | None -> Buffer.add_string buf "\r\n");
+        let s = Buffer.contents buf in
+        write_all fd s 0 (String.length s);
+        let r = reader fd in
+        let status_line = read_line r ~max:8192 in
+        let status =
+          match
+            List.filter (( <> ) "") (String.split_on_char ' ' status_line)
+          with
+          | _ :: code :: _ -> (
+              match int_of_string_opt code with
+              | Some c -> c
+              | None -> raise (Err (Malformed "bad status code")))
+          | _ -> raise (Err (Malformed "bad status line"))
+        in
+        let resp_headers = read_headers r ~max_line:8192 ~max_headers:256 in
+        let body =
+          if meth = "HEAD" then ""
+          else
+            match List.assoc_opt "content-length" resp_headers with
+            | Some v -> (
+                match int_of_string_opt (String.trim v) with
+                | Some n when n >= 0 && n <= 16_777_216 -> read_exact r n
+                | _ -> raise (Err (Malformed "bad content-length")))
+            | None -> read_to_eof r ~max:16_777_216
+        in
+        Ok { status; resp_headers; body }
+      with
+      | Err e -> Error (error_to_string e)
+      | Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))

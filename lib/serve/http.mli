@@ -1,0 +1,87 @@
+(** Minimal HTTP/1.1 codec over [Unix] file descriptors.
+
+    Just enough protocol for the serve daemon: one request per
+    connection ([Connection: close] semantics), [GET]/[HEAD]/[POST]
+    with [Content-Length] bodies, hard caps on line length, header
+    count and body size so a hostile peer cannot make a worker
+    allocate unboundedly.  Deadlines are the socket's [SO_RCVTIMEO] /
+    [SO_SNDTIMEO] options — a stalled peer surfaces as {!Timeout}, not
+    a hung worker.  Chunked transfer encoding is deliberately
+    unsupported (a simulation service controls both ends).
+
+    The {!client} section is a matching loopback client used by the
+    integration tests and [serve --selftest]. *)
+
+type request = {
+  meth : string;  (** Upper-cased method, e.g. ["GET"]. *)
+  target : string;  (** Raw request target as sent. *)
+  path : string;  (** Percent-decoded path, query stripped. *)
+  query : (string * string) list;  (** Decoded query pairs, in order. *)
+  headers : (string * string) list;  (** Names lower-cased, values trimmed. *)
+  body : string;
+}
+
+type error =
+  | Timeout  (** The socket deadline expired mid-read. *)
+  | Closed  (** Peer closed before a complete request arrived. *)
+  | Too_large of string  (** A line, header block or body over its cap. *)
+  | Malformed of string  (** Anything else the parser rejects. *)
+
+val error_to_string : error -> string
+
+val read_request :
+  ?max_line:int ->
+  ?max_headers:int ->
+  ?max_body:int ->
+  Unix.file_descr ->
+  (request, error) result
+(** Parse one request from [fd].  Defaults: 8 KiB lines, 64 headers,
+    1 MiB body.  Never raises on protocol or socket errors — they all
+    land in [Error]. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val status_text : int -> string
+(** Reason phrase for the status codes the server emits. *)
+
+val write_response :
+  ?headers:(string * string) list ->
+  ?head_only:bool ->
+  Unix.file_descr ->
+  status:int ->
+  body:string ->
+  unit
+(** Write a complete response ([Content-Length], [Connection: close];
+    [Content-Type: text/plain; charset=utf-8] unless [headers] carries
+    one).  [head_only] suppresses the body while keeping its length
+    header (HEAD semantics).
+    @raise Unix.Unix_error if the peer is gone or the send deadline
+    expires — callers count and drop, they do not retry. *)
+
+(** {2 Decoding helpers} (exposed for tests) *)
+
+val percent_decode : string -> string
+(** [%XX] unescaping plus [+] to space; malformed escapes pass through. *)
+
+val parse_query : string -> (string * string) list
+
+(** {2 Client} *)
+
+type response = {
+  status : int;
+  resp_headers : (string * string) list;
+  body : string;
+}
+
+val request :
+  ?timeout:float ->
+  ?meth:string ->
+  ?req_headers:(string * string) list ->
+  ?body:string ->
+  port:int ->
+  string ->
+  (response, string) result
+(** [request ~port path] performs one HTTP exchange against
+    [127.0.0.1:port] with [timeout] (default 5 s) as both connect-read
+    and write deadline.  A [body] implies [Content-Length]. *)

@@ -1,0 +1,215 @@
+type counter = { c_name : string; c_help : string; count : int Atomic.t }
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  value : float Atomic.t;
+  peak : float Atomic.t;
+}
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array;  (* ascending, finite *)
+  counts : int Atomic.t array;  (* length bounds + 1; last is +Inf *)
+  sum : float Atomic.t;
+}
+
+type series = C of counter | G of gauge | H of histogram
+
+type t = {
+  lock : Mutex.t;
+  tbl : (string, series) Hashtbl.t;
+  mutable order : series list;  (* reverse registration order *)
+}
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 32; order = [] }
+
+let register t name make classify =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.tbl name with
+    | Some s -> classify s
+    | None ->
+        let s = make () in
+        Hashtbl.add t.tbl name s;
+        t.order <- s :: t.order;
+        classify s
+  in
+  Mutex.unlock t.lock;
+  match r with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Metrics: %s exists with another kind" name)
+
+let counter t ?(help = "") name =
+  register t name
+    (fun () -> C { c_name = name; c_help = help; count = Atomic.make 0 })
+    (function C c -> Some c | _ -> None)
+
+let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c.count by)
+let counter_value c = Atomic.get c.count
+
+let gauge t ?(help = "") name =
+  register t name
+    (fun () ->
+      G
+        {
+          g_name = name;
+          g_help = help;
+          value = Atomic.make 0.;
+          peak = Atomic.make 0.;
+        })
+    (function G g -> Some g | _ -> None)
+
+let rec raise_peak g v =
+  let p = Atomic.get g.peak in
+  if v > p && not (Atomic.compare_and_set g.peak p v) then raise_peak g v
+
+let set_gauge g v =
+  Atomic.set g.value v;
+  raise_peak g v
+
+let rec add_gauge g d =
+  let v = Atomic.get g.value in
+  if Atomic.compare_and_set g.value v (v +. d) then raise_peak g (v +. d)
+  else add_gauge g d
+
+let gauge_value g = Atomic.get g.value
+let gauge_peak g = Atomic.get g.peak
+
+let default_buckets =
+  [ 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0;
+    2.5; 5.0; 10.0 ]
+
+let histogram t ?(help = "") ?(buckets = default_buckets) name =
+  let bounds = Array.of_list buckets in
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Metrics.histogram: non-finite bucket bound";
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: bounds must be ascending")
+    bounds;
+  register t name
+    (fun () ->
+      H
+        {
+          h_name = name;
+          h_help = help;
+          bounds;
+          counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.;
+        })
+    (function H h -> Some h | _ -> None)
+
+let rec add_float a d =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. d)) then add_float a d
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  ignore (Atomic.fetch_and_add h.counts.(bucket 0) 1);
+  add_float h.sum v
+
+let histogram_count h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+let quantile h q =
+  let q = Float.max 0. (Float.min 1. q) in
+  let total = histogram_count h in
+  if total = 0 then 0.
+  else begin
+    let rank = q *. float_of_int total in
+    let n = Array.length h.bounds in
+    let rec go i cum =
+      if i > n then h.bounds.(n - 1)
+      else
+        let c = Atomic.get h.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if cum' >= rank && c > 0 then
+          if i >= n then h.bounds.(n - 1)  (* +Inf bucket: best upper bound *)
+          else
+            let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+            let hi = h.bounds.(i) in
+            lo +. ((hi -. lo) *. ((rank -. cum) /. float_of_int c))
+        else go (i + 1) cum'
+    in
+    go 0 0.
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let family name =
+  match String.index_opt name '{' with
+  | None -> name
+  | Some i -> String.sub name 0 i
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let ordered t =
+  Mutex.lock t.lock;
+  let l = List.rev t.order in
+  Mutex.unlock t.lock;
+  l
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let preamble name help kind =
+    let fam = family name in
+    if not (Hashtbl.mem typed fam) then begin
+      Hashtbl.add typed fam ();
+      if help <> "" then Printf.bprintf buf "# HELP %s %s\n" fam help;
+      Printf.bprintf buf "# TYPE %s %s\n" fam kind
+    end
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | C c ->
+          preamble c.c_name c.c_help "counter";
+          Printf.bprintf buf "%s %d\n" c.c_name (Atomic.get c.count)
+      | G g ->
+          preamble g.g_name g.g_help "gauge";
+          Printf.bprintf buf "%s %s\n" g.g_name (fnum (Atomic.get g.value))
+      | H h ->
+          preamble h.h_name h.h_help "histogram";
+          let cum = ref 0 in
+          Array.iteri
+            (fun i b ->
+              cum := !cum + Atomic.get h.counts.(i);
+              Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" h.h_name
+                (Printf.sprintf "%g" b) !cum)
+            h.bounds;
+          let total = !cum + Atomic.get h.counts.(Array.length h.bounds) in
+          Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name total;
+          Printf.bprintf buf "%s_sum %s\n" h.h_name (fnum (Atomic.get h.sum));
+          Printf.bprintf buf "%s_count %d\n" h.h_name total)
+    (ordered t);
+  Buffer.contents buf
+
+let snapshot t =
+  List.concat_map
+    (fun s ->
+      match s with
+      | C c -> [ (c.c_name, float_of_int (Atomic.get c.count)) ]
+      | G g ->
+          [
+            (g.g_name, Atomic.get g.value);
+            (g.g_name ^ "_peak", Atomic.get g.peak);
+          ]
+      | H h ->
+          [
+            (h.h_name ^ "_count", float_of_int (histogram_count h));
+            (h.h_name ^ "_sum", Atomic.get h.sum);
+            (h.h_name ^ "_p50", quantile h 0.50);
+            (h.h_name ^ "_p95", quantile h 0.95);
+            (h.h_name ^ "_p99", quantile h 0.99);
+          ])
+    (ordered t)

@@ -1,0 +1,857 @@
+module Ratio = Aqt_util.Ratio
+module Prng = Aqt_util.Prng
+module Jsonx = Aqt_util.Jsonx
+module Build = Aqt_graph.Build
+module Network = Aqt_engine.Network
+module Sim = Aqt_engine.Sim
+module Policies = Aqt_policy.Policies
+module Stock = Aqt_adversary.Stock
+module Spec = Aqt_harness.Spec
+module Registry = Aqt_harness.Registry
+module Cache = Aqt_harness.Cache
+module Journal = Aqt_harness.Journal
+module Campaign = Aqt_harness.Campaign
+module Report = Aqt_report.Report
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  rho : float;
+  sigma : int;
+  queue_capacity : int;
+  read_timeout : float;
+  write_timeout : float;
+  campaign_dir : string;
+  salt : string;
+  snapshot_every : float;
+  journal : bool;
+  cache_max_bytes : int option;
+  quiet : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    workers = max 2 (Domain.recommended_domain_count () - 2);
+    rho = 50.;
+    sigma = 32;
+    queue_capacity = 0;
+    read_timeout = 5.;
+    write_timeout = 5.;
+    campaign_dir = Campaign.default_options.Campaign.dir;
+    salt = Campaign.default_options.Campaign.salt;
+    snapshot_every = 10.;
+    journal = true;
+    cache_max_bytes = None;
+    quiet = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics handles                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type handles = {
+  requests : Metrics.counter;
+  shed : Metrics.counter;
+  rejected : Metrics.counter;
+  cache_hits : Metrics.counter;
+  cache_misses : Metrics.counter;
+  read_errors : Metrics.counter;
+  write_errors : Metrics.counter;
+  in_flight : Metrics.gauge;
+  queue_depth : Metrics.gauge;
+  tokens : Metrics.gauge;
+  latency : Metrics.histogram;
+}
+
+let make_handles m =
+  {
+    requests =
+      Metrics.counter m "serve_requests_total"
+        ~help:"Connections accepted by the listener.";
+    shed =
+      Metrics.counter m "serve_shed_total"
+        ~help:"Requests shed with 429 by the (rho,sigma) admission bucket.";
+    rejected =
+      Metrics.counter m "serve_rejected_total"
+        ~help:"Admitted requests rejected with 503 (queue full or draining).";
+    cache_hits =
+      Metrics.counter m "serve_cache_hits_total"
+        ~help:"Sweep/experiment responses served from the result cache.";
+    cache_misses =
+      Metrics.counter m "serve_cache_misses_total"
+        ~help:"Sweep/experiment responses that had to be computed.";
+    read_errors =
+      Metrics.counter m "serve_read_errors_total"
+        ~help:"Requests that died before a response (timeout, close, parse).";
+    write_errors =
+      Metrics.counter m "serve_write_errors_total"
+        ~help:"Responses the peer did not take (gone or send deadline).";
+    in_flight =
+      Metrics.gauge m "serve_in_flight" ~help:"Requests being served now.";
+    queue_depth =
+      Metrics.gauge m "serve_queue_depth"
+        ~help:"Admitted requests waiting for a worker.";
+    tokens =
+      Metrics.gauge m "serve_admission_tokens"
+        ~help:"Admission bucket level at the last snapshot tick.";
+    latency =
+      Metrics.histogram m "serve_request_seconds"
+        ~help:"Accept-to-response latency of served requests.";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { fd : Unix.file_descr; accepted_at : float }
+
+type t = {
+  cfg : config;
+  registry : Registry.t;
+  figures : Report.figure list;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  bucket : Bucket.t;
+  queue : conn Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable draining : bool;  (* under qlock *)
+  queue_cap : int;
+  stop_flag : bool Atomic.t;
+  stopped_flag : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  metrics : Metrics.t;
+  m : handles;
+  cache : Cache.t;
+  journal : Journal.writer option;
+  figure_memo : (string, string) Hashtbl.t;
+  flock : Mutex.t;
+  base_rng : Prng.t;
+  mutable worker_domains : unit Domain.t list;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let port t = t.bound_port
+let metrics t = t.metrics
+let stopped t = Atomic.get t.stopped_flag
+
+let now () = Unix.gettimeofday ()
+
+let status_counter t status =
+  Metrics.counter t.metrics
+    (Printf.sprintf "serve_responses_total{status=\"%d\"}" status)
+    ~help:"Responses written, by status code."
+
+(* ------------------------------------------------------------------ *)
+(* Request parameter parsing                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+let q_str q key default = Option.value (List.assoc_opt key q) ~default
+
+let q_int q key default =
+  match List.assoc_opt key q with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some i -> i
+      | None -> bad "parameter %s: expected an integer, got %S" key v)
+
+let parse_ratio ~what s =
+  let s = String.trim s in
+  match String.index_opt s '/' with
+  | Some i -> (
+      let num = int_of_string_opt (String.sub s 0 i)
+      and den =
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      in
+      match (num, den) with
+      | Some p, Some q when q <> 0 -> Ratio.make p q
+      | _ -> bad "%s: bad rational %S" what s)
+  | None -> (
+      match float_of_string_opt s with
+      | Some f when Float.is_finite f -> Ratio.of_float_approx f
+      | _ -> bad "%s: bad rate %S" what s)
+
+type net_spec = Line of int | Ring of int
+
+let net_spec_to_string = function
+  | Line k -> Printf.sprintf "line:%d" k
+  | Ring k -> Printf.sprintf "ring:%d" k
+
+let max_net_size = 4096
+
+let parse_net s =
+  let size k lo =
+    match int_of_string_opt k with
+    | Some k when k >= lo && k <= max_net_size -> k
+    | Some _ -> bad "network %S: size out of range [%d, %d]" s lo max_net_size
+    | None -> bad "network %S: bad size" s
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "line"; k ] -> Line (size k 1)
+  | [ "ring"; k ] -> Ring (size k 3)
+  | _ -> bad "unknown network %S (line:K | ring:K)" s
+
+let build_net ~d = function
+  | Line k ->
+      let l = Build.line k in
+      let d = min d k in
+      (l.Build.graph, List.init (k - d + 1) (fun i -> Array.sub l.Build.edges i d))
+  | Ring k ->
+      let r = Build.ring k in
+      let d = min d (k - 1) in
+      ( r.Build.graph,
+        List.init k (fun i ->
+            Array.init d (fun j -> r.Build.edges.((i + j) mod k))) )
+
+let resolve_policy name =
+  let name = String.trim name in
+  try Policies.by_name name with Not_found -> bad "unknown policy %S" name
+
+let max_horizon = 200_000
+
+let check_horizon h =
+  if h < 1 || h > max_horizon then
+    bad "horizon %d out of range [1, %d]" h max_horizon;
+  h
+
+let check_hops d = if d < 1 || d > 64 then bad "hops %d out of range [1, 64]" d else d
+
+(* ------------------------------------------------------------------ *)
+(* Handler outcome                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type out = { status : int; ctype : string; content : string }
+
+let text ?(status = 200) content =
+  { status; ctype = "text/plain; charset=utf-8"; content }
+
+let json ?(status = 200) j =
+  { status; ctype = "application/json"; content = Jsonx.to_string j ^ "\n" }
+
+(* ------------------------------------------------------------------ *)
+(* /sweep                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_params = {
+  sp_net : net_spec;
+  sp_d : int;
+  sp_horizon : int;
+  sp_rates : Ratio.t list;
+  sp_policies : Aqt_engine.Policy_type.t list;
+}
+
+let check_rates rates =
+  if rates = [] then bad "at least one rate is required";
+  if List.length rates > 16 then bad "at most 16 rates per sweep";
+  List.iter
+    (fun r ->
+      if Ratio.(r <= zero) then bad "rate %s must be positive" (Ratio.to_string r))
+    rates;
+  rates
+
+let parse_policies s =
+  match String.trim s with
+  | "" | "all" -> Policies.all_deterministic
+  | s -> List.map resolve_policy (String.split_on_char ',' s)
+
+let sweep_params_of_query q =
+  {
+    sp_net = parse_net (q_str q "network" "ring:8");
+    sp_d = check_hops (q_int q "d" 4);
+    sp_horizon = check_horizon (q_int q "horizon" 20_000);
+    sp_rates =
+      check_rates
+        (List.map (parse_ratio ~what:"rates")
+           (String.split_on_char ',' (q_str q "rates" "1/8,1/4,1/2,3/4")));
+    sp_policies = parse_policies (q_str q "policy" "all");
+  }
+
+(* POST /sweep body: {"network": "ring:8", "d": 4, "horizon": 20000,
+   "rates": ["1/4", 0.5], "policies": ["fifo", "lis"] | "all"} *)
+let sweep_params_of_json body =
+  let j =
+    try Jsonx.of_string body with Failure msg -> bad "body is not JSON: %s" msg
+  in
+  let obj = match j with Jsonx.Obj _ -> j | _ -> bad "body must be a JSON object" in
+  let str_field key default =
+    match Jsonx.member key obj with
+    | None | Some Jsonx.Null -> default
+    | Some (Jsonx.Str s) -> s
+    | Some _ -> bad "field %s must be a string" key
+  in
+  let int_field key default =
+    match Jsonx.member key obj with
+    | None | Some Jsonx.Null -> default
+    | Some (Jsonx.Int i) -> i
+    | Some _ -> bad "field %s must be an integer" key
+  in
+  let rate_of = function
+    | Jsonx.Str s -> parse_ratio ~what:"rates" s
+    | Jsonx.Int i -> Ratio.of_int i
+    | Jsonx.Float f when Float.is_finite f -> Ratio.of_float_approx f
+    | _ -> bad "rates must be strings or numbers"
+  in
+  let rates =
+    match Jsonx.member "rates" obj with
+    | None | Some Jsonx.Null ->
+        [ Ratio.make 1 8; Ratio.make 1 4; Ratio.make 1 2; Ratio.make 3 4 ]
+    | Some (Jsonx.List l) -> List.map rate_of l
+    | Some v -> [ rate_of v ]
+  in
+  let policies =
+    match Jsonx.member "policies" obj with
+    | None | Some Jsonx.Null -> parse_policies (str_field "policy" "all")
+    | Some (Jsonx.Str s) -> parse_policies s
+    | Some (Jsonx.List l) ->
+        List.map
+          (function
+            | Jsonx.Str s -> resolve_policy s
+            | _ -> bad "policies must be strings")
+          l
+    | Some _ -> bad "field policies must be a string or a list"
+  in
+  {
+    sp_net = parse_net (str_field "network" "ring:8");
+    sp_d = check_hops (int_field "d" 4);
+    sp_horizon = check_horizon (int_field "horizon" 20_000);
+    sp_rates = check_rates rates;
+    sp_policies = policies;
+  }
+
+let sweep_spec p =
+  [
+    ("version", Spec.Int 1);
+    ("network", Spec.Str (net_spec_to_string p.sp_net));
+    ("d", Spec.Int p.sp_d);
+    ("horizon", Spec.Int p.sp_horizon);
+    ( "rates",
+      Spec.List
+        (List.map (fun r -> Spec.Ratio (Ratio.num r, Ratio.den r)) p.sp_rates) );
+    ( "policies",
+      Spec.List
+        (List.map
+           (fun (pol : Aqt_engine.Policy_type.t) -> Spec.Str pol.name)
+           p.sp_policies) );
+  ]
+
+(* Same grid as `aqt_sim sweep`, built into a Registry.result so it can be
+   content-addressed into the shared campaign cache. *)
+let compute_sweep p =
+  let graph, routes = build_net ~d:p.sp_d p.sp_net in
+  let route_table = Aqt_engine.Route_intern.create () in
+  let rb = Registry.Rb.create () in
+  let rows = ref [] in
+  let cells = ref 0 in
+  List.iter
+    (fun (policy : Aqt_engine.Policy_type.t) ->
+      List.iter
+        (fun rate ->
+          let per_route =
+            Ratio.div rate (Ratio.of_int (max 1 (List.length routes)))
+          in
+          let adv =
+            Stock.shared_token_bucket ~rate:per_route ~routes
+              ~horizon:p.sp_horizon ()
+          in
+          let adv = { adv with Stock.rate } in
+          let report =
+            Aqt.Sweep.classify ~route_table ~name:"serve.sweep" ~graph ~policy
+              ~adversary:adv ~horizon:p.sp_horizon ()
+          in
+          incr cells;
+          rows :=
+            [
+              policy.name;
+              Ratio.to_string rate;
+              Aqt.Sweep.verdict_to_string report.Aqt.Sweep.verdict;
+              string_of_int report.Aqt.Sweep.max_queue;
+              string_of_int report.Aqt.Sweep.final_backlog;
+            ]
+            :: !rows)
+        p.sp_rates)
+    p.sp_policies;
+  Registry.Rb.table rb ~id:"serve_sweep"
+    ~headers:[ "policy"; "rate"; "verdict"; "max queue"; "final backlog" ]
+    (List.rev !rows);
+  Registry.Rb.metric rb "cells" (float_of_int !cells);
+  Registry.Rb.result rb
+
+let result_payload ~name ~key ~cached ~duration result =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str name);
+      ("key", Jsonx.Str key);
+      ("cached", Jsonx.Bool cached);
+      ("duration", Jsonx.Float duration);
+      ("result", Registry.result_to_json result);
+    ]
+
+let serve_cached t ~name ~spec ~compute =
+  let key = Spec.hash ~salt:t.cfg.salt ~name spec in
+  match Cache.lookup t.cache ~key with
+  | Some c ->
+      Metrics.inc t.m.cache_hits;
+      json
+        (result_payload ~name ~key ~cached:true ~duration:c.Cache.duration
+           c.Cache.result)
+  | None ->
+      Metrics.inc t.m.cache_misses;
+      let t0 = now () in
+      let result = compute () in
+      let duration = now () -. t0 in
+      Cache.store t.cache ~key ~name ~spec ~duration result;
+      json (result_payload ~name ~key ~cached:false ~duration result)
+
+let sweep_handler t p =
+  serve_cached t ~name:"serve.sweep" ~spec:(sweep_spec p) ~compute:(fun () ->
+      compute_sweep p)
+
+(* ------------------------------------------------------------------ *)
+(* /experiment/<name>                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_handler t name =
+  match Registry.find t.registry name with
+  | None -> text ~status:404 (Printf.sprintf "unknown experiment %S\n" name)
+  | Some entry ->
+      serve_cached t ~name:entry.Registry.name ~spec:entry.Registry.spec
+        ~compute:entry.Registry.run
+
+(* ------------------------------------------------------------------ *)
+(* /figure/<id>                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let render_figure t (fig : Report.figure) =
+  let options =
+    {
+      Campaign.default_options with
+      Campaign.dir = t.cfg.campaign_dir;
+      salt = t.cfg.salt;
+      quiet = true;
+    }
+  in
+  let ctx = Report.build_ctx ~registry:t.registry ~options [ fig ] in
+  fig.Report.render ctx
+
+let figure_handler t id =
+  let svg body = { status = 200; ctype = "image/svg+xml"; content = body } in
+  (* One mutex serializes renders: figure campaigns journal into the shared
+     campaign dir, and a render is expensive enough that piling every worker
+     onto a cold figure would only waste domains. *)
+  Mutex.lock t.flock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.flock)
+    (fun () ->
+      match Hashtbl.find_opt t.figure_memo id with
+      | Some body ->
+          Metrics.inc t.m.cache_hits;
+          svg body
+      | None -> (
+          match
+            List.find_opt (fun (f : Report.figure) -> f.Report.id = id) t.figures
+          with
+          | None -> text ~status:404 (Printf.sprintf "unknown figure %S\n" id)
+          | Some fig ->
+              Metrics.inc t.m.cache_misses;
+              let body = render_figure t fig in
+              Hashtbl.replace t.figure_memo id body;
+              svg body))
+
+(* ------------------------------------------------------------------ *)
+(* /simulate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_handler t rng q =
+  ignore t;
+  let spec = parse_net (q_str q "network" "ring:8") in
+  let d = check_hops (q_int q "d" 4) in
+  let horizon = check_horizon (q_int q "horizon" 5_000) in
+  let rate = parse_ratio ~what:"rate" (q_str q "rate" "1/4") in
+  if Ratio.(rate <= zero) then bad "rate must be positive";
+  let policy = resolve_policy (q_str q "policy" "fifo") in
+  let stochastic =
+    match String.lowercase_ascii (q_str q "stochastic" "false") with
+    | "1" | "true" | "yes" -> true
+    | "0" | "false" | "no" -> false
+    | v -> bad "parameter stochastic: expected a boolean, got %S" v
+  in
+  let seed =
+    match List.assoc_opt "seed" q with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some s -> s
+        | None -> bad "parameter seed: expected an integer, got %S" v)
+    | None ->
+        (* The worker's own decorrelated stream: each worker draws distinct
+           seeds, and the chosen seed is reported so the run can be replayed. *)
+        Int64.to_int (Prng.bits64 rng) land 0x3FFFFFFF
+  in
+  let graph, routes = build_net ~d spec in
+  let nroutes = List.length routes in
+  let per_route = Ratio.div rate (Ratio.of_int (max 1 (min d nroutes))) in
+  let adv =
+    if stochastic then
+      Stock.bernoulli ~prng:(Prng.create seed) ~rate:per_route ~routes ()
+    else Stock.windowed_burst ~w:40 ~rate:per_route ~routes ~horizon ()
+  in
+  let net = Network.create ~graph ~policy () in
+  let outcome = Sim.run ~net ~driver:adv.Stock.driver ~horizon () in
+  json
+    (Jsonx.Obj
+       [
+         ("network", Jsonx.Str (net_spec_to_string spec));
+         ("policy", Jsonx.Str policy.Aqt_engine.Policy_type.name);
+         ("rate", Jsonx.Str (Ratio.to_string rate));
+         ("adversary", Jsonx.Str adv.Stock.name);
+         ("seed", Jsonx.Int seed);
+         ("steps", Jsonx.Int outcome.Sim.steps_run);
+         ("injected", Jsonx.Int (Network.injected_count net));
+         ("absorbed", Jsonx.Int (Network.absorbed net));
+         ("in_flight", Jsonx.Int (Network.in_flight net));
+         ("max_queue", Jsonx.Int (Network.max_queue_ever net));
+         ("max_dwell", Jsonx.Int (Network.max_dwell net));
+         ("mean_latency", Jsonx.Float (Network.delivered_latency_mean net));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let index_body t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "aqt_sim serve: rate-admission simulation service\n\n";
+  Printf.bprintf b "admission: rho=%g req/s, sigma=%d (token bucket)\n"
+    t.cfg.rho t.cfg.sigma;
+  Printf.bprintf b "workers: %d, queue capacity: %d\n\n" t.cfg.workers
+    t.queue_cap;
+  Buffer.add_string b
+    "endpoints:\n\
+    \  GET  /healthz              liveness\n\
+    \  GET  /metrics              Prometheus text format\n\
+    \  GET  /sweep?network=ring:8&d=4&horizon=20000&rates=1/4,1/2&policy=all\n\
+    \  POST /sweep                same parameters as a JSON body\n\
+    \  GET  /experiment/<name>    cached run of a registered experiment\n\
+    \  GET  /figure/<id>          report figure as SVG\n\
+    \  GET  /simulate?network=ring:8&policy=fifo&rate=1/4&horizon=5000[&seed=N]\n";
+  Buffer.contents b
+
+let strip_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let route t rng (req : Http.request) =
+  let get_like = req.Http.meth = "GET" || req.Http.meth = "HEAD" in
+  match req.Http.path with
+  | "/healthz" when get_like -> text "ok\n"
+  | "/metrics" when get_like ->
+      {
+        status = 200;
+        ctype = "text/plain; version=0.0.4; charset=utf-8";
+        content = Metrics.render t.metrics;
+      }
+  | "/" when get_like -> text (index_body t)
+  | "/sweep" when get_like -> sweep_handler t (sweep_params_of_query req.Http.query)
+  | "/sweep" when req.Http.meth = "POST" ->
+      sweep_handler t (sweep_params_of_json req.Http.body)
+  | "/simulate" when get_like -> simulate_handler t rng req.Http.query
+  | ("/healthz" | "/metrics" | "/" | "/sweep" | "/simulate") ->
+      text ~status:405 "method not allowed\n"
+  | path -> (
+      match strip_prefix ~prefix:"/experiment/" path with
+      | Some name when get_like -> experiment_handler t name
+      | Some _ -> text ~status:405 "method not allowed\n"
+      | None -> (
+          match strip_prefix ~prefix:"/figure/" path with
+          | Some id when get_like -> figure_handler t id
+          | Some _ -> text ~status:405 "method not allowed\n"
+          | None -> text ~status:404 "not found\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_conn t rng conn =
+  Metrics.add_gauge t.m.in_flight 1.;
+  let fd = conn.fd in
+  let respond ?(head_only = false) (o : out) =
+    (try
+       Http.write_response fd
+         ~headers:[ ("Content-Type", o.ctype) ]
+         ~head_only ~status:o.status ~body:o.content
+     with Unix.Unix_error _ -> Metrics.inc t.m.write_errors);
+    Metrics.inc (status_counter t o.status);
+    Metrics.observe t.m.latency (now () -. conn.accepted_at)
+  in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
+     match Http.read_request fd with
+     | Error Http.Closed -> Metrics.inc t.m.read_errors
+     | Error Http.Timeout ->
+         Metrics.inc t.m.read_errors;
+         respond (text ~status:408 "request read timed out\n")
+     | Error (Http.Too_large what) ->
+         Metrics.inc t.m.read_errors;
+         respond (text ~status:413 (Printf.sprintf "too large: %s\n" what))
+     | Error (Http.Malformed what) ->
+         Metrics.inc t.m.read_errors;
+         respond (text ~status:400 (Printf.sprintf "malformed request: %s\n" what))
+     | Ok req ->
+         let o =
+           try route t rng req with
+           | Bad_request msg -> text ~status:400 ("bad request: " ^ msg ^ "\n")
+           | Failure msg -> text ~status:500 ("internal error: " ^ msg ^ "\n")
+           | Invalid_argument msg ->
+               text ~status:500 ("internal error: " ^ msg ^ "\n")
+         in
+         respond ~head_only:(req.Http.meth = "HEAD") o
+   with e ->
+     (* A handler bug must never take a worker domain down with it. *)
+     Metrics.inc t.m.read_errors;
+     ignore (Printexc.to_string e));
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_quietly fd;
+  Metrics.add_gauge t.m.in_flight (-1.)
+
+let worker_loop t i () =
+  let rng = Prng.stream t.base_rng i in
+  let gc_words =
+    Metrics.gauge t.metrics
+      (Printf.sprintf "serve_worker_minor_words{worker=\"%d\"}" i)
+      ~help:"Minor heap words allocated by each worker domain."
+  in
+  let rec loop () =
+    Mutex.lock t.qlock;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.qcond t.qlock
+    done;
+    let job =
+      if Queue.is_empty t.queue then None
+      else begin
+        let c = Queue.pop t.queue in
+        Metrics.set_gauge t.m.queue_depth (float_of_int (Queue.length t.queue));
+        Some c
+      end
+    in
+    Mutex.unlock t.qlock;
+    match job with
+    | None -> ()  (* draining and empty: exit *)
+    | Some conn ->
+        serve_conn t rng conn;
+        Metrics.set_gauge gc_words (Gc.minor_words ());
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let write_snapshot t =
+  Metrics.set_gauge t.m.tokens (Bucket.level t.bucket);
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Journal.write j
+        (Journal.Snapshot
+           { at = now (); label = "serve.metrics"; values = Metrics.snapshot t.metrics })
+
+let drain_wake t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 64 with
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* 429/503 are written from the accept loop itself: shed work must not
+   consume the worker pool it is protecting. *)
+let respond_direct t fd status body =
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
+     Http.write_response fd ~headers:[ ("Retry-After", "1") ] ~status ~body
+   with Unix.Unix_error _ -> Metrics.inc t.m.write_errors);
+  Metrics.inc (status_counter t status);
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_quietly fd
+
+let handle_new t fd =
+  Metrics.inc t.m.requests;
+  if not (Bucket.try_take t.bucket) then begin
+    Metrics.inc t.m.shed;
+    respond_direct t fd 429 "shed: (rho,sigma) admission budget exhausted\n"
+  end
+  else begin
+    Mutex.lock t.qlock;
+    if t.draining || Queue.length t.queue >= t.queue_cap then begin
+      Mutex.unlock t.qlock;
+      Metrics.inc t.m.rejected;
+      respond_direct t fd 503
+        (if Atomic.get t.stop_flag then "shutting down\n" else "queue full\n")
+    end
+    else begin
+      Queue.push { fd; accepted_at = now () } t.queue;
+      Metrics.set_gauge t.m.queue_depth (float_of_int (Queue.length t.queue));
+      Condition.signal t.qcond;
+      Mutex.unlock t.qlock
+    end
+  end
+
+let accept_burst t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        handle_new t fd;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> go ()
+  in
+  go ()
+
+let shutdown t =
+  close_quietly t.listen_fd;
+  Mutex.lock t.qlock;
+  t.draining <- true;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qlock;
+  List.iter Domain.join t.worker_domains;
+  t.worker_domains <- [];
+  write_snapshot t;
+  (match t.journal with Some j -> Journal.close j | None -> ());
+  close_quietly t.wake_r;
+  close_quietly t.wake_w;
+  if not t.cfg.quiet then Printf.printf "serve: drained, bye\n%!";
+  Atomic.set t.stopped_flag true
+
+let accept_loop t () =
+  let tick = if t.cfg.snapshot_every > 0. then t.cfg.snapshot_every else 3600. in
+  let next_snapshot = ref (now () +. tick) in
+  while not (Atomic.get t.stop_flag) do
+    (match Unix.select [ t.listen_fd; t.wake_r ] [] [] 0.25 with
+    | ready, _, _ ->
+        if List.mem t.wake_r ready then drain_wake t;
+        if List.mem t.listen_fd ready then accept_burst t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if now () >= !next_snapshot then begin
+      next_snapshot := now () +. tick;
+      if t.cfg.snapshot_every > 0. then write_snapshot t;
+      match t.cfg.cache_max_bytes with
+      | Some max_bytes -> ignore (Cache.trim t.cache ~max_bytes)
+      | None -> ()
+    end
+  done;
+  shutdown t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let journal_path dir =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Filename.concat
+    (Filename.concat dir "journal")
+    (Printf.sprintf "serve-%04d%02d%02d-%02d%02d%02d-%d.jsonl"
+       (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec (Unix.getpid ()))
+
+let start ?(registry = Registry.create ()) ?(figures = []) cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.rho <= 0. || not (Float.is_finite cfg.rho) then
+    invalid_arg "Server.start: rho must be positive";
+  if cfg.sigma < 1 then invalid_arg "Server.start: sigma must be >= 1";
+  if cfg.read_timeout <= 0. || cfg.write_timeout <= 0. then
+    invalid_arg "Server.start: timeouts must be positive";
+  let queue_cap = if cfg.queue_capacity <= 0 then cfg.sigma else cfg.queue_capacity in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      let addr =
+        try Unix.inet_addr_of_string cfg.host
+        with Failure _ -> invalid_arg ("Server.start: bad host " ^ cfg.host)
+      in
+      Unix.bind listen_fd (Unix.ADDR_INET (addr, cfg.port));
+      Unix.listen listen_fd 128;
+      Unix.set_nonblock listen_fd;
+      let bound_port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock wake_r;
+      Unix.set_nonblock wake_w;
+      let metrics = Metrics.create () in
+      {
+        cfg;
+        registry;
+        figures;
+        listen_fd;
+        bound_port;
+        bucket = Bucket.create ~rho:cfg.rho ~sigma:cfg.sigma ();
+        queue = Queue.create ();
+        qlock = Mutex.create ();
+        qcond = Condition.create ();
+        draining = false;
+        queue_cap;
+        stop_flag = Atomic.make false;
+        stopped_flag = Atomic.make false;
+        wake_r;
+        wake_w;
+        metrics;
+        m = make_handles metrics;
+        cache = Cache.create ~dir:(Filename.concat cfg.campaign_dir "cache");
+        journal =
+          (if cfg.journal then Some (Journal.create (journal_path cfg.campaign_dir))
+           else None);
+        figure_memo = Hashtbl.create 8;
+        flock = Mutex.create ();
+        base_rng = Prng.create 0x53455256;
+        worker_domains = [];
+        accept_domain = None;
+      }
+    with e ->
+      close_quietly listen_fd;
+      raise e
+  in
+  t.worker_domains <- List.init cfg.workers (fun i -> Domain.spawn (worker_loop t i));
+  t.accept_domain <- Some (Domain.spawn (accept_loop t));
+  if not cfg.quiet then
+    Printf.printf "serve: listening on %s:%d (workers=%d rho=%g sigma=%d queue=%d)\n%!"
+      cfg.host t.bound_port cfg.workers cfg.rho cfg.sigma queue_cap;
+  t
+
+let request_stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 'x') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wait t =
+  (* Poll instead of blocking in join so the calling thread keeps servicing
+     OCaml signal handlers (SIGTERM/SIGINT call request_stop). *)
+  while not (Atomic.get t.stopped_flag) do
+    Unix.sleepf 0.05
+  done;
+  match t.accept_domain with
+  | Some d ->
+      t.accept_domain <- None;
+      Domain.join d
+  | None -> ()
+
+let stop t =
+  request_stop t;
+  wait t

@@ -1,0 +1,89 @@
+(** The rate-admission simulation service.
+
+    A long-running HTTP/1.1 daemon that serves the simulator over
+    loopback/LAN: sweeps, registered experiments, report figures,
+    Prometheus metrics and health.  The serving discipline is the
+    theory it simulates:
+
+    - {b Admission} is a (ρ,σ)-token bucket ({!Bucket}): the admitted
+      request stream is rate-bounded exactly like the paper's (w,r)
+      adversary, and everything beyond the budget is shed immediately
+      with [429] — never queued.
+    - {b Queueing} is bounded: admitted requests enter a queue of
+      capacity σ feeding a fixed pool of worker domains (one greedy
+      "link" each, in the paper's one-packet-per-step discipline);
+      a full queue answers [503].  Queue depth can therefore never
+      exceed σ — the serving layer is stable by construction, the
+      same argument as Theorem 4.1's dwell bound.
+    - {b Results} are content-addressed: sweep and experiment
+      responses are keyed by {!Aqt_harness.Spec.hash} into
+      {!Aqt_harness.Cache}, shared with the campaign harness, so a
+      repeated query is a cache hit and never recomputes.
+    - {b Observability}: a {!Metrics} registry exported at
+      [/metrics], periodically journalled as
+      {!Aqt_harness.Journal.Snapshot} events, and an optional
+      {!Aqt_harness.Cache.trim} sweep keeping the cache bounded.
+
+    Endpoints: [/healthz], [/metrics], [/sweep] (GET query or POST
+    JSON body), [/experiment/<name>], [/figure/<id>] (SVG),
+    [/simulate] (live seeded run; uses the worker's own
+    {!Aqt_util.Prng.stream}), [/].
+
+    Graceful shutdown ({!stop}, or {!request_stop} from a signal
+    handler): stop accepting, reject new work, drain the queue and
+    in-flight requests (bounded by the socket deadlines), write a
+    final metrics snapshot, flush and close the journal. *)
+
+type config = {
+  host : string;  (** Bind address, default ["127.0.0.1"]. *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}). *)
+  workers : int;  (** Worker domains. *)
+  rho : float;  (** Admission rate, requests/second. *)
+  sigma : int;  (** Burst budget = bucket depth = queue capacity cap. *)
+  queue_capacity : int;  (** [<= 0] means σ. *)
+  read_timeout : float;  (** Per-request read deadline, seconds. *)
+  write_timeout : float;  (** Per-response write deadline, seconds. *)
+  campaign_dir : string;  (** Cache + journal root, shared with campaigns. *)
+  salt : string;  (** Cache-key code salt ({!Aqt_harness.Campaign}). *)
+  snapshot_every : float;  (** Metrics journal period; [<= 0] disables. *)
+  journal : bool;  (** Write a serve journal under [campaign_dir]. *)
+  cache_max_bytes : int option;
+      (** When set, {!Aqt_harness.Cache.trim} runs on every snapshot
+          tick so the daemon's cache cannot grow unboundedly. *)
+  quiet : bool;
+}
+
+val default_config : config
+(** Loopback:8080, workers = cores-2 (min 2), ρ = 50 req/s, σ = 32,
+    5 s deadlines, [_campaign] state dir, 10 s snapshots. *)
+
+type t
+
+val start :
+  ?registry:Aqt_harness.Registry.t ->
+  ?figures:Aqt_report.Report.figure list ->
+  config ->
+  t
+(** Bind, spawn the worker pool (worker [i] gets PRNG stream
+    [Prng.stream base i]) and the accept loop, and return immediately.
+    [registry] backs [/experiment/]; [figures] backs [/figure/].
+    @raise Invalid_argument on a bad config;
+    @raise Unix.Unix_error if the port cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val metrics : t -> Metrics.t
+
+val request_stop : t -> unit
+(** Trigger graceful shutdown and return immediately; safe to call
+    from a signal handler or any domain, and idempotent. *)
+
+val wait : t -> unit
+(** Block until shutdown completes (polling, so signal handlers keep
+    running in the calling thread), then join the server's domains. *)
+
+val stop : t -> unit
+(** [request_stop] then [wait]. *)
+
+val stopped : t -> bool

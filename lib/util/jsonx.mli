@@ -1,10 +1,11 @@
-(** Minimal self-contained JSON for the campaign harness.
+(** Minimal self-contained JSON.
 
-    The container ships no JSON library, so the harness carries its own
+    The container ships no JSON library, so the repo carries its own
     emitter and recursive-descent parser.  The dialect is plain RFC 8259
     minus surrogate-pair refinements: good enough for round-tripping the
-    harness's own cache files and journal lines, which is all it is used
-    for.  Non-finite floats serialize as [null]. *)
+    campaign harness's cache files and journal lines and the serve
+    layer's request/response bodies, which is all it is used for.
+    Non-finite floats serialize as [null]. *)
 
 type t =
   | Null

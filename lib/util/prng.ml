@@ -17,6 +17,16 @@ let split t =
   let s = bits64 t in
   { state = mix s }
 
+let stream t i =
+  if i < 0 then invalid_arg "Prng.stream: index must be >= 0";
+  (* A jump, not a draw: the parent is left untouched, so [stream t i]
+     is a pure function of (t, i) and workers indexed 0..n-1 get the
+     same streams regardless of spawn order.  The xor constant moves the
+     derived state off the parent's own golden-ratio orbit before the
+     double mix, so stream outputs never collide with the parent's. *)
+  let s = Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1))) in
+  { state = mix (Int64.logxor (mix s) 0xD6E8FEB86659FD93L) }
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -13,6 +13,15 @@ val create : int -> t
 val split : t -> t
 (** A statistically independent generator derived from (and advancing) [t]. *)
 
+val stream : t -> int -> t
+(** [stream t i] is the [i]-th of a family of statistically independent
+    generators derived from [t] {e without} advancing it: a jump, not a
+    draw.  Unlike repeated {!split}, the result depends only on [t]'s
+    current state and [i], so a worker pool can hand worker [i] its own
+    decorrelated stream regardless of the order workers start in, and a
+    re-run reproduces every per-worker sequence bit-for-bit.
+    @raise Invalid_argument if [i < 0]. *)
+
 val copy : t -> t
 
 val bits64 : t -> int64

@@ -219,6 +219,61 @@ let cache_crashed_store_publishes_nothing () =
   check_bool "no temp files left" true
     (Array.for_all (fun f -> not (Filename.check_suffix f ".tmp")) files)
 
+let cache_trim_oldest_first () =
+  let cache = Cache.create ~dir:(temp_dir ()) in
+  let keys =
+    List.init 4 (fun i ->
+        let name = Printf.sprintf "e%d" i in
+        let entry = dummy_entry name in
+        let key = Cache.key ~salt:name entry in
+        Cache.store cache ~key ~name ~spec:entry.Registry.spec ~duration:0.1
+          (sample_result ());
+        let file = Filename.concat (Cache.dir cache) (key ^ ".json") in
+        (* Deterministic ages: stores in a tight loop could share an mtime. *)
+        let at = 1000. +. float_of_int i in
+        Unix.utimes file at at;
+        (key, (Unix.stat file).Unix.st_size))
+  in
+  let total = List.fold_left (fun acc (_, s) -> acc + s) 0 keys in
+  check_int "a sufficient budget evicts nothing" 0
+    (Cache.trim cache ~max_bytes:total);
+  let s0 = snd (List.nth keys 0) and s1 = snd (List.nth keys 1) in
+  check_int "evicts exactly the two oldest" 2
+    (Cache.trim cache ~max_bytes:(total - s0 - s1));
+  (match keys with
+  | (k0, _) :: (k1, _) :: newer ->
+      check_bool "oldest gone" true (Cache.lookup cache ~key:k0 = None);
+      check_bool "second oldest gone" true (Cache.lookup cache ~key:k1 = None);
+      List.iter
+        (fun (k, _) ->
+          check_bool "newer entries kept" true (Cache.lookup cache ~key:k <> None))
+        newer
+  | _ -> assert false);
+  check_int "zero budget clears the rest" 2 (Cache.trim cache ~max_bytes:0);
+  check_int "idempotent when empty" 0 (Cache.trim cache ~max_bytes:0);
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Cache.trim: max_bytes must be >= 0") (fun () ->
+      ignore (Cache.trim cache ~max_bytes:(-1)))
+
+let campaign_trim_leaves_journals () =
+  let module Campaign = Aqt_harness.Campaign in
+  let dir = temp_dir () in
+  let jpath =
+    Filename.concat (Filename.concat dir "journal") "run-00000000-000000-1.jsonl"
+  in
+  let w = Journal.create jpath in
+  Journal.write w (Journal.Campaign_start { at = 0.; names = [] });
+  Journal.close w;
+  let cache = Cache.create ~dir:(Filename.concat dir "cache") in
+  let entry = dummy_entry "e1" in
+  let key = Cache.key entry in
+  Cache.store cache ~key ~name:"e1" ~spec:entry.Registry.spec ~duration:0.1
+    (sample_result ());
+  let options = { Campaign.default_options with Campaign.dir } in
+  check_int "evicts the cache entry" 1 (Campaign.trim options ~max_bytes:0);
+  check_bool "cache empty" true (Cache.lookup cache ~key = None);
+  check_bool "journal untouched" true (Sys.file_exists jpath)
+
 (* ------------------------------------------------------------------ *)
 (* Journal                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -283,6 +338,27 @@ let journal_roundtrip () =
      done
    with End_of_file -> close_in ic);
   check_int "one event per line" (List.length events) !lines
+
+let journal_snapshot_roundtrip () =
+  let ev =
+    Journal.Snapshot
+      {
+        at = 12.5;
+        label = "serve.metrics";
+        values =
+          [ ("serve_requests_total", 42.); ("serve_queue_depth", 3.) ];
+      }
+  in
+  check_bool "json round-trip" true
+    (Journal.event_of_json (Journal.event_to_json ev) = ev);
+  let ev_empty = Journal.Snapshot { at = 1.; label = "x"; values = [] } in
+  check_bool "empty values round-trip" true
+    (Journal.event_of_json (Journal.event_to_json ev_empty) = ev_empty);
+  let path = Filename.concat (temp_dir ()) "run.jsonl" in
+  let w = Journal.create path in
+  Journal.write w ev;
+  Journal.close w;
+  check_bool "file round-trip" true (Journal.load path = [ ev ])
 
 let journal_timeout_event_roundtrip () =
   let ev =
@@ -515,10 +591,15 @@ let () =
             cache_store_over_existing;
           Alcotest.test_case "crashed store publishes nothing" `Quick
             cache_crashed_store_publishes_nothing;
+          Alcotest.test_case "trim oldest first" `Quick cache_trim_oldest_first;
+          Alcotest.test_case "campaign trim leaves journals" `Quick
+            campaign_trim_leaves_journals;
         ] );
       ( "journal",
         [
           Alcotest.test_case "jsonl round-trip" `Quick journal_roundtrip;
+          Alcotest.test_case "snapshot event round-trip" `Quick
+            journal_snapshot_roundtrip;
           Alcotest.test_case "timeout event round-trip" `Quick
             journal_timeout_event_roundtrip;
           Alcotest.test_case "degrades on append failure" `Quick

@@ -1,0 +1,708 @@
+(* lib/serve: HTTP codec, (rho,sigma) admission bucket, metrics registry,
+   and loopback integration against live daemons. *)
+
+module Http = Aqt_serve.Http
+module Bucket = Aqt_serve.Bucket
+module Metrics = Aqt_serve.Metrics
+module Server = Aqt_serve.Server
+module Registry = Aqt_harness.Registry
+module Spec = Aqt_harness.Spec
+module Journal = Aqt_harness.Journal
+module Jsonx = Aqt_util.Jsonx
+module Prng = Aqt_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aqt_serve_test_%d_%d" (Unix.getpid ()) !counter)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP codec (socketpair, no network)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let with_pair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      close_quietly a;
+      close_quietly b)
+    (fun () -> f a b)
+
+(* Feed raw bytes to read_request; the writing end closes, so the parser
+   sees exactly this input followed by EOF. *)
+let feed ?max_line ?max_headers ?max_body bytes =
+  with_pair (fun a b ->
+      ignore (Unix.write_substring a bytes 0 (String.length bytes));
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      Http.read_request ?max_line ?max_headers ?max_body b)
+
+let http_percent_decode () =
+  check_string "space and plus" "a b c" (Http.percent_decode "a%20b+c");
+  check_string "hex" "A/Z" (Http.percent_decode "%41%2fZ");
+  check_string "bad escape passes through" "%zz%4" (Http.percent_decode "%zz%4");
+  check_string "empty" "" (Http.percent_decode "")
+
+let http_parse_query () =
+  check_bool "pairs" true
+    (Http.parse_query "a=1&b=two%20words&flag&=x"
+    = [ ("a", "1"); ("b", "two words"); ("flag", ""); ("", "x") ]);
+  check_bool "empty" true (Http.parse_query "" = []);
+  check_bool "stray separators" true (Http.parse_query "&&a=1&" = [ ("a", "1") ])
+
+let http_request_roundtrip () =
+  match
+    feed "GET /p%61th?x=1&y=a+b HTTP/1.1\r\nHost: h\r\nX-Foo:  bar \r\n\r\n"
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" (Http.error_to_string e)
+  | Ok req ->
+      check_string "meth" "GET" req.Http.meth;
+      check_string "path decoded" "/path" req.Http.path;
+      check_bool "query" true (req.Http.query = [ ("x", "1"); ("y", "a b") ]);
+      check_bool "header lower-cased and trimmed" true
+        (Http.header req "X-FOO" = Some "bar");
+      check_string "no body" "" req.Http.body
+
+let http_post_body () =
+  match
+    feed "POST /sweep HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"d\": 3}..."
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" (Http.error_to_string e)
+  | Ok req ->
+      check_string "meth" "POST" req.Http.meth;
+      check_string "body" "{\"d\": 3}..." req.Http.body
+
+let http_tolerances () =
+  (match feed "\r\nGET / HTTP/1.1\r\n\r\n" with
+  | Ok req -> check_string "leading blank line tolerated" "/" req.Http.path
+  | Error e -> Alcotest.failf "blank line: %s" (Http.error_to_string e));
+  (match feed "get / HTTP/1.0\nhost: h\n\n" with
+  | Ok req ->
+      check_string "bare LF + case" "GET" req.Http.meth;
+      check_bool "host header" true (Http.header req "host" = Some "h")
+  | Error e -> Alcotest.failf "bare LF: %s" (Http.error_to_string e))
+
+let expect_malformed label input =
+  match feed input with
+  | Error (Http.Malformed _) -> ()
+  | Error e ->
+      Alcotest.failf "%s: expected Malformed, got %s" label
+        (Http.error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: accepted" label
+
+let http_malformed () =
+  expect_malformed "no spaces" "GARBAGE\r\n\r\n";
+  expect_malformed "http/0.9" "GET /\r\n\r\n";
+  expect_malformed "bad version" "GET / SPDY/9\r\n\r\n";
+  expect_malformed "nameless header" "GET / HTTP/1.1\r\n: v\r\n\r\n";
+  expect_malformed "colonless header" "GET / HTTP/1.1\r\nnocolon\r\n\r\n";
+  expect_malformed "chunked rejected"
+    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  expect_malformed "bad content-length"
+    "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+  expect_malformed "negative content-length"
+    "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n"
+
+let http_limits () =
+  (match feed ~max_line:32 ("GET /" ^ String.make 64 'a' ^ " HTTP/1.1\r\n\r\n") with
+  | Error (Http.Too_large "line") -> ()
+  | r ->
+      Alcotest.failf "long line: %s"
+        (match r with Ok _ -> "accepted" | Error e -> Http.error_to_string e));
+  (match
+     feed ~max_headers:2
+       "GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n"
+   with
+  | Error (Http.Too_large "headers") -> ()
+  | _ -> Alcotest.fail "header count cap");
+  match feed ~max_body:8 "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789" with
+  | Error (Http.Too_large "body") -> ()
+  | _ -> Alcotest.fail "body cap"
+
+let http_closed () =
+  (match feed "" with
+  | Error Http.Closed -> ()
+  | _ -> Alcotest.fail "empty input should be Closed");
+  match feed "GET / HTTP/1.1\r\nHost: h\r\n" with
+  | Error Http.Closed -> ()
+  | _ -> Alcotest.fail "truncated headers should be Closed"
+
+let read_all fd =
+  let buf = Bytes.create 4096 in
+  let out = Buffer.create 256 in
+  let rec go () =
+    match Unix.read fd buf 0 4096 with
+    | 0 -> Buffer.contents out
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        go ()
+  in
+  go ()
+
+let http_write_response () =
+  let wire =
+    with_pair (fun a b ->
+        Http.write_response a
+          ~headers:[ ("Content-Type", "application/json") ]
+          ~status:200 ~body:"{\"ok\":true}";
+        Unix.shutdown a Unix.SHUTDOWN_SEND;
+        read_all b)
+  in
+  check_bool "status line" true
+    (String.starts_with ~prefix:"HTTP/1.1 200 OK\r\n" wire);
+  check_bool "content-length" true
+    (let re = "Content-Length: 11\r\n" in
+     let rec find i =
+       i + String.length re <= String.length wire
+       && (String.sub wire i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  check_bool "connection close" true
+    (let needle = "Connection: close\r\n\r\n" in
+     let rec find i =
+       i + String.length needle <= String.length wire
+       && (String.sub wire i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  check_bool "body last" true (String.ends_with ~suffix:"{\"ok\":true}" wire);
+  let head =
+    with_pair (fun a b ->
+        Http.write_response a ~head_only:true ~status:200 ~body:"abc";
+        Unix.shutdown a Unix.SHUTDOWN_SEND;
+        read_all b)
+  in
+  check_bool "HEAD keeps length header" true
+    (let re = "Content-Length: 3\r\n" in
+     let rec find i =
+       i + String.length re <= String.length head
+       && (String.sub head i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  check_bool "HEAD omits body" true (String.ends_with ~suffix:"\r\n\r\n" head)
+
+(* ------------------------------------------------------------------ *)
+(* Bucket (fake clock)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_burst_then_refill () =
+  let now = ref 0. in
+  let b = Bucket.create ~now:(fun () -> !now) ~rho:2. ~sigma:3 () in
+  check_bool "starts full: sigma admitted" true
+    (Bucket.try_take b && Bucket.try_take b && Bucket.try_take b);
+  check_bool "then empty" false (Bucket.try_take b);
+  now := 0.5;
+  check_bool "refills at rho" true (Bucket.try_take b);
+  check_bool "but only one token accrued" false (Bucket.try_take b);
+  now := 100.;
+  check_bool "level capped at sigma" true (Bucket.level b <= 3.);
+  check_bool "burst again" true
+    (Bucket.try_take b && Bucket.try_take b && Bucket.try_take b);
+  check_bool "capped burst" false (Bucket.try_take b)
+
+let bucket_rate_bound () =
+  (* The (rho,sigma) law itself: over [0,T] at most rho*T + sigma admitted,
+     whatever the arrival pattern. *)
+  let now = ref 0. in
+  let b = Bucket.create ~now:(fun () -> !now) ~rho:5. ~sigma:4 () in
+  let admitted = ref 0 in
+  let horizon = 1000 in
+  for step = 0 to horizon - 1 do
+    now := float_of_int step *. 0.01;
+    (* a greedy adversary hammers three times per tick *)
+    for _ = 1 to 3 do
+      if Bucket.try_take b then incr admitted
+    done
+  done;
+  let t = float_of_int (horizon - 1) *. 0.01 in
+  check_bool "admitted <= rho*T + sigma" true
+    (float_of_int !admitted <= (5. *. t) +. 4.);
+  check_bool "admission keeps pace with rho" true
+    (float_of_int !admitted >= 5. *. t *. 0.9)
+
+let bucket_validation () =
+  Alcotest.check_raises "rho <= 0"
+    (Invalid_argument "Bucket.create: rho must be > 0") (fun () ->
+      ignore (Bucket.create ~rho:0. ~sigma:1 ()));
+  Alcotest.check_raises "sigma < 1"
+    (Invalid_argument "Bucket.create: sigma must be >= 1") (fun () ->
+      ignore (Bucket.create ~rho:1. ~sigma:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences hay needle =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length hay then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let metrics_counter_and_gauge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x_total" ~help:"things" in
+  Metrics.inc c;
+  Metrics.inc ~by:2 c;
+  check_int "counter value" 3 (Metrics.counter_value c);
+  check_bool "get-or-create returns the same" true
+    (Metrics.counter_value (Metrics.counter m "x_total") = 3);
+  let g = Metrics.gauge m "depth" in
+  Metrics.set_gauge g 4.;
+  Metrics.add_gauge g (-1.);
+  check_bool "gauge value" true (Metrics.gauge_value g = 3.);
+  check_bool "peak survives the decrement" true (Metrics.gauge_peak g = 4.);
+  let out = Metrics.render m in
+  check_bool "HELP line" true (contains out "# HELP x_total things\n");
+  check_bool "TYPE line" true (contains out "# TYPE x_total counter\n");
+  check_bool "counter sample" true (contains out "x_total 3\n");
+  check_bool "gauge sample" true (contains out "depth 3\n")
+
+let metrics_kind_mismatch () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: x exists with another kind") (fun () ->
+      ignore (Metrics.gauge m "x"))
+
+let metrics_label_family () =
+  let m = Metrics.create () in
+  Metrics.inc (Metrics.counter m "rsp_total{status=\"200\"}" ~help:"by status");
+  Metrics.inc (Metrics.counter m "rsp_total{status=\"404\"}" ~help:"by status");
+  let out = Metrics.render m in
+  check_int "one TYPE line per family" 1
+    (count_occurrences out "# TYPE rsp_total counter\n");
+  check_bool "both series" true
+    (contains out "rsp_total{status=\"200\"} 1\n"
+    && contains out "rsp_total{status=\"404\"} 1\n")
+
+let metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" ~buckets:[ 0.01; 0.1; 1.0 ] in
+  List.iter (Metrics.observe h) [ 0.005; 0.005; 0.05; 0.5; 5.0 ];
+  check_int "count" 5 (Metrics.histogram_count h);
+  let out = Metrics.render m in
+  check_bool "cumulative buckets" true
+    (contains out "lat_bucket{le=\"0.01\"} 2\n"
+    && contains out "lat_bucket{le=\"0.1\"} 3\n"
+    && contains out "lat_bucket{le=\"1\"} 4\n"
+    && contains out "lat_bucket{le=\"+Inf\"} 5\n");
+  check_bool "count line" true (contains out "lat_count 5\n");
+  (* p50 falls in the (0.01, 0.1] bucket; quantiles never exceed the last
+     finite bound. *)
+  let p50 = Metrics.quantile h 0.5 in
+  check_bool "p50 in bucket" true (p50 > 0.01 && p50 <= 0.1);
+  check_bool "p99 bounded by last finite bucket" true
+    (Metrics.quantile h 0.99 <= 1.0);
+  check_bool "empty histogram quantile" true
+    (Metrics.quantile (Metrics.histogram m "lat2") 0.5 = 0.)
+
+let metrics_snapshot () =
+  let m = Metrics.create () in
+  Metrics.inc (Metrics.counter m "a_total");
+  Metrics.set_gauge (Metrics.gauge m "g") 2.5;
+  Metrics.observe (Metrics.histogram m "h") 0.02;
+  let snap = Metrics.snapshot m in
+  check_bool "counter" true (List.assoc_opt "a_total" snap = Some 1.);
+  check_bool "gauge + peak" true
+    (List.assoc_opt "g" snap = Some 2.5
+    && List.assoc_opt "g_peak" snap = Some 2.5);
+  check_bool "histogram summary keys" true
+    (List.mem_assoc "h_count" snap && List.mem_assoc "h_sum" snap
+   && List.mem_assoc "h_p99" snap)
+
+(* ------------------------------------------------------------------ *)
+(* Integration: live daemon on an ephemeral port                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry () =
+  let r = Registry.create () in
+  Registry.register r
+    {
+      Registry.name = "tiny";
+      title = "tiny test experiment";
+      tags = [];
+      spec = [ ("version", Spec.Int 1) ];
+      run =
+        (fun () ->
+          let rb = Registry.Rb.create () in
+          Registry.Rb.note rb "hello";
+          Registry.Rb.metric rb "answer" 42.;
+          Registry.Rb.result rb);
+    };
+  r
+
+let test_figure =
+  {
+    Aqt_report.Report.id = "unit";
+    title = "unit figure";
+    caption = "";
+    experiments = [];
+    render = (fun _ -> "<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>");
+  }
+
+let boot ?(rho = 10_000.) ?(sigma = 100) ?(workers = 2) ?registry ?figures () =
+  Server.start ?registry ?figures
+    {
+      Server.default_config with
+      Server.port = 0;
+      workers;
+      rho;
+      sigma;
+      read_timeout = 2.;
+      write_timeout = 2.;
+      campaign_dir = temp_dir ();
+      snapshot_every = 0.;
+      journal = false;
+      quiet = true;
+    }
+
+let with_server ?rho ?sigma ?workers ?registry ?figures f =
+  let srv = boot ?rho ?sigma ?workers ?registry ?figures () in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let get ?meth ?body srv path =
+  match Http.request ?meth ?body ~timeout:10. ~port:(Server.port srv) path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "request %s failed: %s" path e
+
+let serve_basic_endpoints () =
+  with_server (fun srv ->
+      let r = get srv "/healthz" in
+      check_int "healthz status" 200 r.Http.status;
+      check_string "healthz body" "ok\n" r.Http.body;
+      let r = get srv "/" in
+      check_bool "index mentions endpoints" true (contains r.Http.body "/sweep");
+      check_int "unknown path" 404 (get srv "/nope").Http.status;
+      check_int "unknown method" 405 (get ~meth:"DELETE" srv "/healthz").Http.status;
+      let r = get ~meth:"HEAD" srv "/healthz" in
+      check_int "HEAD status" 200 r.Http.status;
+      check_string "HEAD has no body" "" r.Http.body;
+      check_bool "HEAD keeps content-length" true
+        (List.assoc_opt "content-length" r.Http.resp_headers = Some "3"))
+
+let serve_metrics_endpoint () =
+  with_server (fun srv ->
+      ignore (get srv "/healthz");
+      let r = get srv "/metrics" in
+      check_int "status" 200 r.Http.status;
+      check_bool "prometheus content type" true
+        (match List.assoc_opt "content-type" r.Http.resp_headers with
+        | Some ct -> contains ct "version=0.0.4"
+        | None -> false);
+      let b = r.Http.body in
+      check_bool "request counter family" true
+        (contains b "# TYPE serve_requests_total counter");
+      check_bool "latency histogram" true
+        (contains b "serve_request_seconds_bucket{le=");
+      check_bool "queue depth gauge" true (contains b "serve_queue_depth");
+      check_bool "per-status series" true
+        (contains b "serve_responses_total{status=\"200\"}");
+      check_bool "per-worker gc series" true
+        (contains b "serve_worker_minor_words{worker=\"0\"}"))
+
+let sweep_path = "/sweep?network=ring:6&d=3&horizon=300&rates=1/4&policy=fifo"
+
+let body_json r = Jsonx.of_string r.Http.body
+
+let cached_flag r =
+  match Jsonx.member "cached" (body_json r) with
+  | Some (Jsonx.Bool b) -> b
+  | _ -> Alcotest.fail "no cached flag in response"
+
+let serve_sweep_cached () =
+  with_server (fun srv ->
+      let cold = get srv sweep_path in
+      check_int "cold status" 200 cold.Http.status;
+      check_bool "cold computes" false (cached_flag cold);
+      let warm = get srv sweep_path in
+      check_bool "warm is a cache hit" true (cached_flag warm);
+      (* The POST body spells the same spec, so it must hit the same key. *)
+      let post =
+        get ~meth:"POST"
+          ~body:
+            {|{"network":"ring:6","d":3,"horizon":300,"rates":["1/4"],"policies":["fifo"]}|}
+          srv "/sweep"
+      in
+      check_int "post status" 200 post.Http.status;
+      check_bool "post hits the same cache key" true (cached_flag post);
+      (* and the payload carries the verdict table *)
+      check_bool "table present" true (contains cold.Http.body "serve_sweep"))
+
+let serve_sweep_rejects () =
+  with_server (fun srv ->
+      let expect_400 path =
+        check_int (Printf.sprintf "400 for %s" path) 400 (get srv path).Http.status
+      in
+      expect_400 "/sweep?horizon=0";
+      expect_400 "/sweep?horizon=999999999";
+      expect_400 "/sweep?policy=quantum";
+      expect_400 "/sweep?rates=one/two";
+      expect_400 "/sweep?network=torus:4";
+      expect_400 "/sweep?d=banana";
+      let r = get ~meth:"POST" ~body:"{not json" srv "/sweep" in
+      check_int "bad JSON body" 400 r.Http.status;
+      let r = get ~meth:"POST" ~body:"[1,2]" srv "/sweep" in
+      check_int "non-object body" 400 r.Http.status)
+
+let serve_experiment_cached () =
+  with_server ~registry:(test_registry ()) (fun srv ->
+      check_int "unknown experiment" 404 (get srv "/experiment/nope").Http.status;
+      let cold = get srv "/experiment/tiny" in
+      check_int "cold status" 200 cold.Http.status;
+      check_bool "cold computes" false (cached_flag cold);
+      check_bool "result payload carries metrics" true
+        (contains cold.Http.body "answer");
+      let warm = get srv "/experiment/tiny" in
+      check_bool "warm is a cache hit" true (cached_flag warm))
+
+let serve_figure () =
+  with_server ~figures:[ test_figure ] (fun srv ->
+      check_int "unknown figure" 404 (get srv "/figure/nope").Http.status;
+      let r = get srv "/figure/unit" in
+      check_int "status" 200 r.Http.status;
+      check_bool "svg content type" true
+        (List.assoc_opt "content-type" r.Http.resp_headers
+        = Some "image/svg+xml");
+      check_bool "svg body" true (String.starts_with ~prefix:"<svg" r.Http.body);
+      let again = get srv "/figure/unit" in
+      check_string "memoized render is identical" r.Http.body again.Http.body)
+
+let serve_simulate_seeded () =
+  with_server (fun srv ->
+      let path =
+        "/simulate?network=ring:6&policy=fifo&rate=1/4&horizon=500&seed=11"
+      in
+      let a = get srv path and b = get srv path in
+      check_int "status" 200 a.Http.status;
+      check_string "same seed, same run" a.Http.body b.Http.body;
+      (match Jsonx.member "injected" (body_json a) with
+      | Some (Jsonx.Int n) -> check_bool "injected packets" true (n > 0)
+      | _ -> Alcotest.fail "no injected field");
+      (* Without a seed the worker draws one from its own stream and
+         reports it. *)
+      let r = get srv "/simulate?horizon=200" in
+      match Jsonx.member "seed" (body_json r) with
+      | Some (Jsonx.Int _) -> ()
+      | _ -> Alcotest.fail "no seed reported")
+
+(* Below capacity: an admissible client stream is never shed (the serving
+   layer's Theorem 4.1 analogue). *)
+let serve_below_capacity () =
+  with_server ~rho:10_000. ~sigma:100 (fun srv ->
+      let statuses =
+        List.concat_map Domain.join
+          (List.init 3 (fun _ ->
+               Domain.spawn (fun () ->
+                   List.init 10 (fun _ -> (get srv "/healthz").Http.status))))
+      in
+      check_int "every request answered 200" 30
+        (List.length (List.filter (Int.equal 200) statuses)))
+
+(* Above capacity: bounded shedding, no hangs, queue bounded by sigma. *)
+let serve_above_capacity () =
+  with_server ~rho:25. ~sigma:5 (fun srv ->
+      let statuses =
+        List.init 60 (fun _ ->
+            match
+              Http.request ~timeout:10. ~port:(Server.port srv) "/healthz"
+            with
+            | Ok r -> r.Http.status
+            | Error _ -> -1)
+      in
+      let n s = List.length (List.filter (Int.equal s) statuses) in
+      check_int "no hangs or dropped responses" 0 (n (-1));
+      check_bool "some served" true (n 200 > 0);
+      check_bool "some shed with 429" true (n 429 > 0);
+      check_bool "nothing but 200/429/503" true
+        (List.for_all (fun s -> s = 200 || s = 429 || s = 503) statuses);
+      let m = Server.metrics srv in
+      check_bool "shed counter matches" true
+        (Metrics.counter_value (Metrics.counter m "serve_shed_total") = n 429);
+      check_bool "queue peak bounded by sigma" true
+        (Metrics.gauge_peak (Metrics.gauge m "serve_queue_depth") <= 5.))
+
+(* Malformed-request fuzz: random garbage must never hang a worker or kill
+   the daemon — every connection ends in a response or a clean close. *)
+let serve_malformed_fuzz () =
+  with_server (fun srv ->
+      let port = Server.port srv in
+      let rng = Prng.create 0xF022 in
+      let exchange bytes =
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> close_quietly fd)
+          (fun () ->
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 8.;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO 8.;
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            (try ignore (Unix.write fd bytes 0 (Bytes.length bytes))
+             with Unix.Unix_error _ -> ());
+            (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+             with Unix.Unix_error _ -> ());
+            let buf = Bytes.create 4096 in
+            let rec drain () =
+              match Unix.read fd buf 0 4096 with
+              | 0 -> true
+              | _ -> drain ()
+              | exception
+                  Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                  true
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  false (* deadline expired: the server hung on us *)
+            in
+            drain ())
+      in
+      for case = 1 to 12 do
+        let len = Prng.int rng 200 in
+        let bytes =
+          Bytes.init len (fun _ ->
+              (* bias toward structure so some cases get past the first
+                 line: spaces, CRLF, header-ish colons *)
+              match Prng.int rng 6 with
+              | 0 -> ' '
+              | 1 -> '\r'
+              | 2 -> '\n'
+              | 3 -> ':'
+              | _ -> Char.chr (Prng.int rng 256))
+        in
+        check_bool
+          (Printf.sprintf "fuzz case %d terminates" case)
+          true (exchange bytes)
+      done;
+      (* the daemon survived all of it *)
+      check_int "still alive" 200 (get srv "/healthz").Http.status)
+
+(* Graceful shutdown: in-flight requests complete, then the port closes. *)
+let serve_graceful_drain () =
+  let srv = boot () in
+  let port = Server.port srv in
+  let m = Server.metrics srv in
+  let accepted = Metrics.counter m "serve_requests_total" in
+  let before = Metrics.counter_value accepted in
+  let client =
+    Domain.spawn (fun () ->
+        Http.request ~timeout:10. ~port
+          "/simulate?network=ring:8&policy=fifo&rate=1/4&horizon=200000&seed=3")
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    Metrics.counter_value accepted <= before
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  Server.request_stop srv;
+  (match Domain.join client with
+  | Ok r ->
+      check_int "in-flight request completed" 200 r.Http.status;
+      check_bool "with a full body" true (String.length r.Http.body > 0)
+  | Error e -> Alcotest.failf "in-flight request failed: %s" e);
+  Server.wait srv;
+  check_bool "stopped" true (Server.stopped srv);
+  (match Http.request ~timeout:2. ~port "/healthz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "port should be closed after shutdown");
+  Server.stop srv (* idempotent *)
+
+(* The daemon journals Snapshot events with its metrics. *)
+let serve_journal_snapshot () =
+  let dir = temp_dir () in
+  let srv =
+    Server.start
+      {
+        Server.default_config with
+        Server.port = 0;
+        workers = 1;
+        rho = 10_000.;
+        sigma = 100;
+        read_timeout = 2.;
+        write_timeout = 2.;
+        campaign_dir = dir;
+        snapshot_every = 3600.;
+        journal = true;
+        quiet = true;
+      }
+  in
+  ignore (get srv "/healthz");
+  Server.stop srv;
+  match Journal.files ~dir with
+  | [] -> Alcotest.fail "no journal written"
+  | file :: _ -> (
+      let events = Journal.load file in
+      match
+        List.filter_map
+          (function
+            | Journal.Snapshot { label; values; _ } -> Some (label, values)
+            | _ -> None)
+          events
+      with
+      | [] -> Alcotest.fail "no snapshot event"
+      | (label, values) :: _ ->
+          check_string "label" "serve.metrics" label;
+          check_bool "request counter in snapshot" true
+            (List.assoc_opt "serve_requests_total" values = Some 1.))
+
+let () =
+  Alcotest.run "aqt_serve"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "percent decode" `Quick http_percent_decode;
+          Alcotest.test_case "query parsing" `Quick http_parse_query;
+          Alcotest.test_case "request round-trip" `Quick http_request_roundtrip;
+          Alcotest.test_case "post body" `Quick http_post_body;
+          Alcotest.test_case "tolerances" `Quick http_tolerances;
+          Alcotest.test_case "malformed inputs" `Quick http_malformed;
+          Alcotest.test_case "size limits" `Quick http_limits;
+          Alcotest.test_case "closed peer" `Quick http_closed;
+          Alcotest.test_case "response writing" `Quick http_write_response;
+        ] );
+      ( "bucket",
+        [
+          Alcotest.test_case "burst then refill" `Quick bucket_burst_then_refill;
+          Alcotest.test_case "(rho,sigma) bound" `Quick bucket_rate_bound;
+          Alcotest.test_case "validation" `Quick bucket_validation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick metrics_counter_and_gauge;
+          Alcotest.test_case "kind mismatch" `Quick metrics_kind_mismatch;
+          Alcotest.test_case "label families" `Quick metrics_label_family;
+          Alcotest.test_case "histogram" `Quick metrics_histogram;
+          Alcotest.test_case "snapshot" `Quick metrics_snapshot;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "basic endpoints" `Quick serve_basic_endpoints;
+          Alcotest.test_case "metrics endpoint" `Quick serve_metrics_endpoint;
+          Alcotest.test_case "sweep cache" `Quick serve_sweep_cached;
+          Alcotest.test_case "sweep rejects bad params" `Quick
+            serve_sweep_rejects;
+          Alcotest.test_case "experiment cache" `Quick serve_experiment_cached;
+          Alcotest.test_case "figure render" `Quick serve_figure;
+          Alcotest.test_case "simulate seeded" `Quick serve_simulate_seeded;
+          Alcotest.test_case "below capacity all 200" `Quick
+            serve_below_capacity;
+          Alcotest.test_case "above capacity bounded shed" `Quick
+            serve_above_capacity;
+          Alcotest.test_case "malformed fuzz" `Quick serve_malformed_fuzz;
+          Alcotest.test_case "graceful drain" `Quick serve_graceful_drain;
+          Alcotest.test_case "journal snapshot" `Quick serve_journal_snapshot;
+        ] );
+    ]

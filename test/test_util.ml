@@ -527,6 +527,108 @@ let csv_quote_field () =
   check_string "newline" "\"a\nb\"" (q "a\nb");
   check_string "cr" "\"a\rb\"" (q "a\rb")
 
+(* ------------------------------------------------------------------ *)
+(* Prng.stream                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prng_stream_decorrelated () =
+  let p = Prng.create 123 in
+  let take g = List.init 16 (fun _ -> Prng.int g 1_000_000) in
+  let a = take (Prng.stream p 0) in
+  let b = take (Prng.stream p 1) in
+  let c = take (Prng.stream p 2) in
+  check_bool "streams 0/1 differ" false (a = b);
+  check_bool "streams 1/2 differ" false (b = c);
+  check_bool "streams 0/2 differ" false (a = c)
+
+let prng_stream_pure () =
+  let p = Prng.create 7 in
+  let mirror = Prng.copy p in
+  let s = Prng.stream p 4 in
+  ignore (List.init 8 (fun _ -> Prng.bits64 s));
+  let after = List.init 8 (fun _ -> Prng.bits64 p) in
+  let expected = List.init 8 (fun _ -> Prng.bits64 mirror) in
+  check_bool "jump does not advance the parent" true (after = expected)
+
+let prng_stream_reproducible () =
+  (* Pure in (state, index): any worker start order yields the same
+     per-worker sequences. *)
+  let take g = List.init 16 (fun _ -> Prng.bits64 g) in
+  let a = take (Prng.stream (Prng.create 99) 17) in
+  let b = take (Prng.stream (Prng.create 99) 17) in
+  check_bool "same (seed, index), same stream" true (a = b)
+
+let prng_stream_negative () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Prng.stream: index must be >= 0") (fun () ->
+      ignore (Prng.stream (Prng.create 1) (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Jsonx = Aqt_util.Jsonx
+
+let jsonx_parse_basics () =
+  check_bool "null" true (Jsonx.of_string " null " = Jsonx.Null);
+  check_bool "int" true (Jsonx.of_string "-42" = Jsonx.Int (-42));
+  check_bool "float" true (Jsonx.of_string "2.5" = Jsonx.Float 2.5);
+  check_bool "escapes" true
+    (Jsonx.of_string {|"a\nbA"|} = Jsonx.Str "a\nbA");
+  check_bool "nested" true
+    (Jsonx.of_string {|{"k":[1,true,"s"],"m":{}}|}
+    = Jsonx.Obj
+        [ ("k", Jsonx.List [ Jsonx.Int 1; Jsonx.Bool true; Jsonx.Str "s" ]);
+          ("m", Jsonx.Obj []) ])
+
+let jsonx_parse_rejects () =
+  let bad s =
+    match Jsonx.of_string s with
+    | _ -> Alcotest.failf "accepted %S" s
+    | exception Failure _ -> ()
+  in
+  List.iter bad
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{1:2}" ]
+
+let jsonx_value_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Jsonx.Null;
+        map (fun b -> Jsonx.Bool b) bool;
+        map (fun i -> Jsonx.Int i) (int_range (-1_000_000) 1_000_000);
+        (* Multiples of 1/64 are binary-exact, so equality is meaningful;
+           non-finite floats are excluded (they serialize as null). *)
+        map
+          (fun i -> Jsonx.Float (float_of_int i /. 64.))
+          (int_range (-1_000_000) 1_000_000);
+        map (fun s -> Jsonx.Str s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let key = string_size ~gen:printable (int_bound 8) in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map
+                   (fun l -> Jsonx.List l)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Jsonx.Obj kvs)
+                   (list_size (int_bound 4) (pair key (self (n / 2)))) );
+             ]))
+
+let prop_jsonx_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"jsonx decode (encode v) = v"
+    (QCheck.make ~print:Jsonx.to_string jsonx_value_gen) (fun v ->
+      Jsonx.of_string (Jsonx.to_string v) = v)
+
 let ascii_plot_smoke () =
   let plot = Aqt_util.Ascii_plot.create ~title:"t" () in
   Aqt_util.Ascii_plot.add_series plot ~glyph:'*'
@@ -588,6 +690,19 @@ let () =
           Alcotest.test_case "bernoulli mean" `Quick prng_bernoulli_mean;
           Alcotest.test_case "shuffle permutes" `Quick prng_shuffle_permutes;
           Alcotest.test_case "split independence" `Quick prng_split_independent;
+          Alcotest.test_case "stream decorrelation" `Quick
+            prng_stream_decorrelated;
+          Alcotest.test_case "stream is a jump" `Quick prng_stream_pure;
+          Alcotest.test_case "stream reproducible" `Quick
+            prng_stream_reproducible;
+          Alcotest.test_case "stream negative index" `Quick
+            prng_stream_negative;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "parse basics" `Quick jsonx_parse_basics;
+          Alcotest.test_case "parse rejects" `Quick jsonx_parse_rejects;
+          q prop_jsonx_roundtrip;
         ] );
       ( "parallel",
         [
