@@ -4,7 +4,8 @@
 
    Each experiment is registered in the campaign registry
    (Aqt_harness.Registry) under its stable id (f1..f2, e1..e15, a1..a7,
-   bench) with a deterministic parameter spec and a run function that
+   c1..c2, bench) with a deterministic parameter spec and a run function
+   that
    *returns* its tables and notes instead of printing them.  Two front
    ends consume the registry: bench/main.exe (direct run, prints tables
    and mirrors CSVs to bench_results/) and `aqt_sim campaign` (cached,
@@ -1159,6 +1160,158 @@ let noise_robustness rb =
      precondition fails: the instability needs its timing, not silence."
 
 (* ------------------------------------------------------------------ *)
+(* C1-C2: bounded buffers and link speedup                             *)
+(* (the arXiv:1707.03856 / arXiv:1902.08069 regime)                    *)
+(* ------------------------------------------------------------------ *)
+
+module Capacity = Aqt_capacity.Model
+module Tradeoff = Aqt_capacity.Tradeoff
+
+(* The shared capacity workload: an 8-ring with 4-hop arcs; every
+   [period] steps a burst of [burst] packets is injected on one rotating
+   route.  Long-run per-edge load is rho = 4*burst/(8*period), but it
+   arrives as a [burst]-deep clump at the route's first edge — the
+   regime where buffer size, drop discipline and speedup actually
+   matter.  (A smooth one-per-route schedule never queues at all: the
+   staggered arcs interleave perfectly.) *)
+let capacity_cell ~burst ~period ~horizon ~capacity =
+  let ring = Build.ring 8 in
+  let routes =
+    Array.init 8 (fun i ->
+        Array.init 4 (fun j -> ring.Build.edges.((i + j) mod 8)))
+  in
+  let net =
+    Network.create ~recycle:true ~capacity ~graph:ring.Build.graph
+      ~policy:Policies.fifo ()
+  in
+  let driver =
+    Sim.injections_only (fun _ t ->
+        if t mod period = 1 then
+          let r = routes.(t / period mod 8) in
+          List.init burst (fun _ : Network.injection ->
+              { route = r; tag = "cap" })
+        else [])
+  in
+  let outcome = Sim.run ~net ~driver ~horizon () in
+  (net, outcome)
+
+let c1_caps = [ 0; 1; 2; 3; 4; 6; 8; 12; 16 ]
+let c1_speedups = [ 1; 2; 3 ]
+
+(* C1: the drop-rate grid over (buffer size, link speedup).  Drop-tail
+   FIFO at critical load (rho = 1) arriving in 8-deep bursts: at unit
+   speed only a burst-sized buffer stops the bleeding, while each extra
+   unit of speedup shaves the buffer needed for zero drops — the
+   1902.08069 message that a little speedup substitutes for a lot of
+   buffer. *)
+let capacity_sweep rb =
+  let burst = 8 and period = 4 and horizon = 1600 in
+  let rows = ref [] in
+  let min_cap = Array.make (List.length c1_speedups + 1) (-1) in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun cap ->
+          let capacity =
+            Capacity.uniform ~policy:Capacity.Drop_tail ~speedup:s cap
+          in
+          let net, outcome = capacity_cell ~burst ~period ~horizon ~capacity in
+          let injected = Network.injected_count net in
+          let dropped = Network.dropped net in
+          if dropped = 0 && min_cap.(s) < 0 then min_cap.(s) <- cap;
+          rows :=
+            [
+              Tbl.fi s;
+              Tbl.fi cap;
+              Tbl.fi injected;
+              Tbl.fi dropped;
+              Printf.sprintf "%.4f" (Tradeoff.drop_rate ~injected ~dropped);
+              Tbl.fi (Network.peak_occupancy net);
+              Tbl.fi outcome.Sim.max_queue;
+            ]
+            :: !rows)
+        c1_caps)
+    c1_speedups;
+  Rb.table rb ~id:"c1_drop_grid"
+    ~headers:
+      [ "s"; "cap"; "injected"; "dropped"; "drop_rate"; "peak_occupancy";
+        "max_queue" ]
+    (List.rev !rows);
+  Rb.table rb ~id:"c1_min_buffer"
+    ~headers:[ "s"; "min cap (no drops)"; "s >= ceil(rho)" ]
+    (List.map
+       (fun s ->
+         [
+           Tbl.fi s;
+           (if min_cap.(s) < 0 then "-" else Tbl.fi min_cap.(s));
+           Tbl.fb (s >= Tradeoff.min_speedup ~rho_num:burst ~rho_den:(2 * period));
+         ])
+       c1_speedups);
+  notef rb
+    "Drop-tail FIFO at critical per-edge load rho = %d/%d, arriving as \
+     %d-deep single-edge bursts every %d steps.  The zero-drop frontier \
+     moves left as s grows: speedup substitutes for buffer."
+    burst (2 * period) burst period
+
+let c2_caps = [ 1; 2; 3; 4; 6; 8; 12; 16 ]
+
+(* C2: drop disciplines compared at critical load (rho = 1, s = 1).
+   Drop-tail and drop-head shed the same volume (the service rate fixes
+   what can leave), but drop-head sheds the *oldest* packets, so the
+   survivors are fresh: its max dwell stays flat while drop-tail's grows
+   with the buffer.  The shared Dynamic-Threshold pool (total = 8*cap,
+   alpha = 1) moves the same budget to wherever the backlog is. *)
+let capacity_policies rb =
+  let burst = 8 and period = 5 and horizon = 1600 in
+  let disciplines =
+    [
+      ( "drop-tail",
+        fun cap -> Capacity.uniform ~policy:Capacity.Drop_tail cap );
+      ( "drop-head",
+        fun cap -> Capacity.uniform ~policy:Capacity.Drop_head cap );
+      ( "dt-shared",
+        fun cap -> Capacity.shared ~alpha_num:1 ~alpha_den:1 (8 * cap) );
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (name, model) ->
+      List.iter
+        (fun cap ->
+          let net, outcome =
+            capacity_cell ~burst ~period ~horizon ~capacity:(model cap)
+          in
+          let injected = Network.injected_count net in
+          let dropped = Network.dropped net in
+          rows :=
+            [
+              name;
+              Tbl.fi cap;
+              Tbl.fi injected;
+              Tbl.fi dropped;
+              Printf.sprintf "%.4f" (Tradeoff.drop_rate ~injected ~dropped);
+              Printf.sprintf "%.4f"
+                (Tradeoff.delivered_fraction ~injected ~dropped);
+              Tbl.fi (Network.displaced net);
+              Tbl.fi outcome.Sim.max_dwell;
+              Tbl.fi (Network.peak_occupancy net);
+            ]
+            :: !rows)
+        c2_caps)
+    disciplines;
+  Rb.table rb ~id:"c2_policies"
+    ~headers:
+      [ "discipline"; "cap"; "injected"; "dropped"; "drop_rate"; "delivered";
+        "displaced"; "max_dwell"; "peak_occupancy" ]
+    (List.rev !rows);
+  notef rb
+    "Sub-critical load rho = %d/%d at unit speed, arriving as %d-deep \
+     single-edge bursts.  Per-discipline buffer budget: cap per edge for \
+     the uniform disciplines, 8*cap in the shared Dynamic-Threshold pool \
+     (which concentrates it wherever the burst lands)."
+    burst (2 * period) burst
+
+(* ------------------------------------------------------------------ *)
 (* B1-B4: bechamel microbenchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1229,6 +1382,31 @@ let bechamel_suite rb =
       ~name:(Printf.sprintf "fastpath.run_steps ring%d steady" k)
       (Staged.stage (fun () -> Sim.run_steps ~net ~driver 200))
   in
+  (* The bounded twin of [fastpath_bench]: same steady-state loop, but
+     through finite drop-tail buffers at speedup 2 — measures the capped
+     admission and multi-dequeue paths the capacity model adds. *)
+  let fastpath_capacity_bench =
+    let ring = Build.ring 100 in
+    let routes =
+      Array.init 100 (fun i ->
+          Array.init 4 (fun j -> ring.edges.((i + j) mod 100)))
+    in
+    let net =
+      Network.create ~recycle:true
+        ~capacity:(Capacity.uniform ~policy:Capacity.Drop_tail ~speedup:2 8)
+        ~graph:ring.graph ~policy:Policies.fifo ()
+    in
+    let t = ref 0 in
+    let driver =
+      Sim.injections_only (fun _ _ ->
+          incr t;
+          if !t land 1 = 0 then
+            [ { Network.route = routes.(!t mod 100); tag = "b" } ]
+          else [])
+    in
+    Test.make ~name:"fastpath.run_steps ring100 cap8 s2"
+      (Staged.stage (fun () -> Sim.run_steps ~net ~driver 200))
+  in
   let intern_bench =
     let ring = Build.ring 1000 in
     let routes =
@@ -1265,6 +1443,7 @@ let bechamel_suite rb =
         step_bench 1000;
         fastpath_bench 100;
         fastpath_bench 1000;
+        fastpath_capacity_bench;
         intern_bench;
         create_bench;
         build_bench;
@@ -1484,6 +1663,25 @@ let build () =
     ~tags:[ "ablation" ]
     [ ("eps", Spec.Ratio (1, 5)); ("ns", ilist [ 3; 5; 7; 9; 11; 13 ]) ]
     ablation_pump_factor_vs_n;
+  reg "c1" "Buffer size x speedup - the drop-rate grid on a saturated ring"
+    ~tags:[ "capacity" ]
+    [
+      ("caps", ilist c1_caps);
+      ("speedups", ilist c1_speedups);
+      ("burst", Spec.Int 8);
+      ("period", Spec.Int 4);
+      ("horizon", Spec.Int 1600);
+    ]
+    capacity_sweep;
+  reg "c2" "Drop disciplines - drop-tail vs drop-head vs DT shared pool"
+    ~tags:[ "capacity" ]
+    [
+      ("caps", ilist c2_caps);
+      ("burst", Spec.Int 8);
+      ("period", Spec.Int 5);
+      ("horizon", Spec.Int 1600);
+    ]
+    capacity_policies;
   reg "a7" "Robustness - Thm 3.17 under superimposed random cross-traffic"
     ~tags:[ "ablation" ]
     [

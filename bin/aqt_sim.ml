@@ -1083,12 +1083,13 @@ let check_cmd =
   in
   let run_mutant_demo () =
     (* The self-check that the differ can catch bugs: corrupt the engine
-       arms three different ways and demand a shrunk reproducer each time. *)
+       arms four different ways and demand a shrunk reproducer each time. *)
     let mutants =
       [
         ("drop-injection", Diff.Drop_injection 3);
         ("flip-tie-order", Diff.Flip_tie_order);
         ("skip-reroutes", Diff.Skip_reroutes);
+        ("ignore-capacity", Diff.Ignore_capacity);
       ]
     in
     List.for_all

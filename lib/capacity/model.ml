@@ -1,0 +1,91 @@
+type policy = Drop_tail | Drop_head
+
+type buffers =
+  | Unbounded
+  | Uniform of { cap : int; policy : policy }
+  | Per_edge of { caps : int array; policy : policy }
+  | Shared of { total : int; alpha_num : int; alpha_den : int }
+
+type t = { buffers : buffers; speedup : int }
+
+let unbounded = { buffers = Unbounded; speedup = 1 }
+
+let make ?(speedup = 1) buffers =
+  if speedup < 1 then invalid_arg "Capacity.Model.make: speedup must be >= 1";
+  (match buffers with
+  | Unbounded -> ()
+  | Uniform { cap; _ } ->
+      if cap < 0 then invalid_arg "Capacity.Model.make: negative capacity"
+  | Per_edge { caps; _ } ->
+      Array.iter
+        (fun c ->
+          if c < 0 then invalid_arg "Capacity.Model.make: negative capacity")
+        caps
+  | Shared { total; alpha_num; alpha_den } ->
+      if total < 0 then invalid_arg "Capacity.Model.make: negative total";
+      if alpha_num < 1 || alpha_den < 1 then
+        invalid_arg "Capacity.Model.make: alpha must be a positive ratio");
+  { buffers; speedup }
+
+let uniform ?(policy = Drop_tail) ?speedup cap =
+  make ?speedup (Uniform { cap; policy })
+
+let shared ?(alpha_num = 1) ?(alpha_den = 1) ?speedup total =
+  make ?speedup (Shared { total; alpha_num; alpha_den })
+
+let is_unbounded t = match t.buffers with Unbounded -> true | _ -> false
+let is_trivial t = is_unbounded t && t.speedup = 1
+let speedup t = t.speedup
+
+let caps t ~m =
+  match t.buffers with
+  | Unbounded | Shared _ -> Array.make m max_int
+  | Uniform { cap; _ } -> Array.make m cap
+  | Per_edge { caps; _ } ->
+      if Array.length caps <> m then
+        invalid_arg
+          (Printf.sprintf "Capacity.Model.caps: %d caps for %d edges"
+             (Array.length caps) m)
+      else Array.copy caps
+
+let drop_head t =
+  match t.buffers with
+  | Uniform { policy = Drop_head; _ } | Per_edge { policy = Drop_head; _ } ->
+      true
+  | _ -> false
+
+let shared_total t =
+  match t.buffers with Shared { total; _ } -> total | _ -> max_int
+
+let alpha t =
+  match t.buffers with
+  | Shared { alpha_num; alpha_den; _ } -> (alpha_num, alpha_den)
+  | _ -> (1, 1)
+
+(* The Dynamic-Threshold admission test (Choudhury-Hahne): a packet may join
+   a queue of length [len] iff the queue stays below alpha times the free
+   space of the shared buffer.  [occupancy = total] makes the right side 0,
+   so fullness rejection is subsumed. *)
+let dt_admits ~alpha_num ~alpha_den ~total ~occupancy ~len =
+  alpha_den * len < alpha_num * (total - occupancy)
+
+let policy_name = function Drop_tail -> "drop-tail" | Drop_head -> "drop-head"
+
+let policy_of_string = function
+  | "drop-tail" | "tail" -> Some Drop_tail
+  | "drop-head" | "head" -> Some Drop_head
+  | _ -> None
+
+let describe t =
+  let b =
+    match t.buffers with
+    | Unbounded -> "unbounded"
+    | Uniform { cap; policy } ->
+        Printf.sprintf "cap=%d %s" cap (policy_name policy)
+    | Per_edge { caps; policy } ->
+        Printf.sprintf "per-edge caps (%d edges) %s" (Array.length caps)
+          (policy_name policy)
+    | Shared { total; alpha_num; alpha_den } ->
+        Printf.sprintf "shared=%d dt(%d/%d)" total alpha_num alpha_den
+  in
+  if t.speedup = 1 then b else Printf.sprintf "%s s=%d" b t.speedup

@@ -1,0 +1,20 @@
+let cdiv a b = ((a + b) - 1) / b
+
+let min_speedup ~rho_num ~rho_den =
+  if rho_num <= 0 || rho_den <= 0 then
+    invalid_arg "Capacity.Tradeoff.min_speedup: rate must be positive";
+  max 1 (cdiv rho_num rho_den)
+
+let single_hop_backlog ~rho_num ~rho_den ~sigma ~speedup =
+  if rho_num <= 0 || rho_den <= 0 || sigma < 0 || speedup < 1 then
+    invalid_arg "Capacity.Tradeoff.single_hop_backlog: bad parameters";
+  (* Arrivals over any window of d steps are bounded by rho*d + sigma while
+     the server drains speedup*d, so with rho <= s the standing backlog
+     never exceeds the burst allowance. *)
+  if rho_num <= speedup * rho_den then Some sigma else None
+
+let drop_rate ~injected ~dropped =
+  if injected <= 0 then 0.0 else float_of_int dropped /. float_of_int injected
+
+let delivered_fraction ~injected ~dropped =
+  1.0 -. drop_rate ~injected ~dropped

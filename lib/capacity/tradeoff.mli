@@ -1,0 +1,23 @@
+(** Analytic baselines for the buffer-size-vs-speedup tradeoff.
+
+    The committed figures plot measured drop behaviour against these
+    network-calculus baselines: a token-bucket (rho, sigma) flow through a
+    single queue served at integer rate [s] keeps its backlog at or below
+    [sigma] whenever [rho <= s], and needs [s >= ceil rho] to be drainable at
+    all.  The multi-hop curves of arXiv:1707.03856 / arXiv:1902.08069 are
+    measured by the [c1]/[c2] experiments rather than restated here. *)
+
+val min_speedup : rho_num:int -> rho_den:int -> int
+(** Smallest integer speedup that can sustain arrival rate rho = num/den.
+    @raise Invalid_argument on a non-positive rate. *)
+
+val single_hop_backlog :
+  rho_num:int -> rho_den:int -> sigma:int -> speedup:int -> int option
+(** [Some sigma] when [rho <= speedup] (the backlog bound of a single
+    (rho, sigma)-bounded queue), [None] when the queue is unstable.
+    @raise Invalid_argument on bad parameters. *)
+
+val drop_rate : injected:int -> dropped:int -> float
+(** [dropped / injected], 0 on an empty run. *)
+
+val delivered_fraction : injected:int -> dropped:int -> float

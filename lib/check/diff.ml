@@ -4,8 +4,13 @@ module Trace = Aqt_engine.Trace
 module Digraph = Aqt_graph.Digraph
 module Rate_check = Aqt_adversary.Rate_check
 module Stability = Aqt.Stability
+module Capacity = Aqt_capacity.Model
 
-type mutant = Drop_injection of int | Flip_tie_order | Skip_reroutes
+type mutant =
+  | Drop_injection of int
+  | Flip_tie_order
+  | Skip_reroutes
+  | Ignore_capacity
 
 type failure = { kind : string; step : int option; detail : string }
 
@@ -47,7 +52,32 @@ let compare_buffers ~arm ~step refm net =
   if Network.absorbed net <> Ref_model.absorbed refm then
     fail "divergence" ~step
       (Printf.sprintf "%s arm: absorbed %d, reference %d" arm
-         (Network.absorbed net) (Ref_model.absorbed refm))
+         (Network.absorbed net) (Ref_model.absorbed refm));
+  if Network.dropped net <> Ref_model.dropped refm then
+    fail "divergence" ~step
+      (Printf.sprintf "%s arm: dropped %d, reference %d" arm
+         (Network.dropped net) (Ref_model.dropped refm))
+
+(* Capacity-never-exceeded: after every step, each buffer respects its
+   static cap and a shared pool respects its total.  Checked against the
+   scenario's model, not the arm's (so the ignore-capacity mutant is caught
+   here as soon as it overfills a buffer). *)
+let check_capacity ~arm ~step (capacity : Capacity.t) net =
+  if not (Capacity.is_unbounded capacity) then begin
+    let m = Digraph.n_edges (Network.graph net) in
+    let caps = Capacity.caps capacity ~m in
+    for e = 0 to m - 1 do
+      if Network.buffer_len net e > caps.(e) then
+        fail "capacity-exceeded" ~step
+          (Printf.sprintf "%s arm: edge %d holds %d packets, cap %d" arm e
+             (Network.buffer_len net e) caps.(e))
+    done;
+    let total = Capacity.shared_total capacity in
+    if total <> max_int && Network.occupancy net > total then
+      fail "capacity-exceeded" ~step
+        (Printf.sprintf "%s arm: %d packets buffered, shared total %d" arm
+           (Network.occupancy net) total)
+  end
 
 let check_stat ~arm name want got =
   if want <> got then
@@ -72,6 +102,12 @@ let compare_stats ~arm refm net =
     (Network.delivered_latency_max net);
   check_stat ~arm "reroutes" (Ref_model.reroute_count refm)
     (Network.reroute_count net);
+  check_stat ~arm "dropped" (Ref_model.dropped refm) (Network.dropped net);
+  check_stat ~arm "displaced" (Ref_model.displaced refm)
+    (Network.displaced net);
+  check_stat ~arm "peak_occupancy"
+    (Ref_model.peak_occupancy refm)
+    (Network.peak_occupancy net);
   if
     Ref_model.delivered_latency_mean refm
     <> Network.delivered_latency_mean net
@@ -92,7 +128,11 @@ let compare_stats ~arm refm net =
     check_stat ~arm
       (Printf.sprintf "last_injection_on %d" e)
       (Ref_model.last_injection_on refm e)
-      (Network.last_injection_on net e)
+      (Network.last_injection_on net e);
+    check_stat ~arm
+      (Printf.sprintf "dropped_on_edge %d" e)
+      (Ref_model.dropped_on_edge refm e)
+      (Network.dropped_on_edge net e)
   done
 
 let compare_logs ~arm refm net =
@@ -136,18 +176,23 @@ let reroute_net net =
     net;
   List.iter (fun p -> Network.reroute net p [||]) !victims
 
-(* Trace-level invariants: at most one forward per (step, edge), and each
-   step's forwarded-edge set equals the reference model's pre-step
-   nonempty set — the engine is greedy and never idles a backlogged link. *)
-let check_trace_invariants tr ref_forwards =
+(* Trace-level invariants: at most [speedup] forwards per (step, edge), and
+   each step's forwarded-edge multiset equals the reference model's — the
+   engine is greedy and never idles a backlogged link.  The sorted lists
+   compare as multisets, so a speedup-s edge appearing s times on both
+   sides matches. *)
+let check_trace_invariants ~speedup tr ref_forwards =
   let by_step = Hashtbl.create 64 in
   Array.iter
     (function
       | Trace.Forwarded { t; edge; _ } ->
           let prev = try Hashtbl.find by_step t with Not_found -> [] in
-          if List.mem edge prev then
+          let uses = List.length (List.filter (Int.equal edge) prev) in
+          if uses >= speedup then
             fail "trace-invariant" ~step:t
-              (Printf.sprintf "edge %d forwarded twice in step %d" edge t);
+              (Printf.sprintf
+                 "edge %d forwarded %d times in step %d (speedup %d)" edge
+                 (uses + 1) t speedup);
           Hashtbl.replace by_step t (edge :: prev)
       | _ -> ())
     (Trace.events tr);
@@ -169,11 +214,15 @@ let check_trace_invariants tr ref_forwards =
 
 let check_conservation ~arm net =
   let made = Network.initial_count net + Network.injected_count net in
-  let accounted = Network.absorbed net + Network.in_flight net in
+  let accounted =
+    Network.absorbed net + Network.in_flight net + Network.dropped net
+  in
   if made <> accounted then
     fail "conservation"
-      (Printf.sprintf "%s arm: %d packets created but %d accounted for" arm
-         made accounted)
+      (Printf.sprintf
+         "%s arm: %d packets created but %d accounted for \
+          (absorbed + in flight + dropped)"
+         arm made accounted)
 
 let check_obligation scenario net = function
   | Gen.Rate_ok rate ->
@@ -220,19 +269,25 @@ let run ?mutant (scenario : Gen.scenario) =
   let engine_reroutes =
     scenario.reroutes && mutant <> Some Skip_reroutes
   in
+  let engine_capacity =
+    if mutant = Some Ignore_capacity then Capacity.unbounded
+    else scenario.capacity
+  in
   let refm =
-    Ref_model.create ~tie_order:scenario.tie_order ~graph:scenario.graph
+    Ref_model.create ~tie_order:scenario.tie_order
+      ~capacity:scenario.capacity ~graph:scenario.graph
       ~policy:scenario.policy ()
   in
   let fast =
     Network.create ~log_injections:true ~tie_order:engine_tie ~recycle:true
-      ~graph:scenario.graph ~policy:scenario.policy ()
+      ~capacity:engine_capacity ~graph:scenario.graph
+      ~policy:scenario.policy ()
   in
   let tr = Trace.create () in
   let traced =
     Network.create ~log_injections:true ~tie_order:engine_tie
-      ~tracer:(Trace.handler tr) ~graph:scenario.graph
-      ~policy:scenario.policy ()
+      ~tracer:(Trace.handler tr) ~capacity:engine_capacity
+      ~graph:scenario.graph ~policy:scenario.policy ()
   in
   try
     List.iter
@@ -268,7 +323,9 @@ let run ?mutant (scenario : Gen.scenario) =
       Network.step fast engine_injs;
       Network.step traced engine_injs;
       compare_buffers ~arm:"fast" ~step refm fast;
-      compare_buffers ~arm:"traced" ~step refm traced
+      compare_buffers ~arm:"traced" ~step refm traced;
+      check_capacity ~arm:"fast" ~step scenario.capacity fast;
+      check_capacity ~arm:"traced" ~step scenario.capacity traced
     done;
     compare_stats ~arm:"fast" refm fast;
     compare_stats ~arm:"traced" refm traced;
@@ -276,7 +333,13 @@ let run ?mutant (scenario : Gen.scenario) =
     compare_logs ~arm:"traced" refm traced;
     check_conservation ~arm:"fast" fast;
     check_conservation ~arm:"traced" traced;
-    check_trace_invariants tr ref_forwards;
+    check_trace_invariants
+      ~speedup:(Capacity.speedup scenario.capacity)
+      tr ref_forwards;
+    if Trace.count_dropped tr <> Ref_model.dropped refm then
+      fail "trace-invariant"
+        (Printf.sprintf "traced arm emitted %d drop events, reference %d"
+           (Trace.count_dropped tr) (Ref_model.dropped refm));
     List.iter (check_obligation scenario fast) scenario.obligations;
     None
   with Fail f -> Some f

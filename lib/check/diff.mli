@@ -12,13 +12,17 @@
 
     After the run, the invariant layer checks:
 
-    - the engine's event trace forwards at most one packet per link per
-      step, and the forwarded-edge set of every step equals the reference
-      model's pre-step nonempty-buffer set (greedy non-idling);
+    - the engine's event trace forwards at most [speedup] packets per link
+      per step, and the forwarded-edge multiset of every step equals the
+      reference model's pre-step answer (greedy non-idling);
+    - under a finite capacity model, no buffer ever exceeds its static cap
+      and a shared pool never exceeds its total (checked after every step),
+      and drop counts — total, displaced, per-edge — agree with the oracle;
     - end-of-run statistics agree (queue maxima, send counts, dwell,
-      latency, Def 3.2 last-use times);
+      latency, Def 3.2 last-use times, drop and occupancy peaks);
     - the [(time, final route)] injection logs agree entry-for-entry;
-    - packet conservation: initial + injected = absorbed + in flight;
+    - packet conservation with drops:
+      initial + injected = absorbed + in flight + dropped;
     - every scenario obligation: {!Aqt_adversary.Rate_check} admissibility
       for the scenario's adversary class, and the Theorem 4.1/4.3 dwell
       bound via [Aqt.Stability.verify_run] where a theorem applies.
@@ -38,6 +42,11 @@ type mutant =
   | Skip_reroutes
       (** Engine arms ignore the reroute pass — models a reroute that
           fails to apply. *)
+  | Ignore_capacity
+      (** Engine arms run the paper's unbounded unit-speed regime while the
+          reference enforces the scenario's capacity model — models an
+          admission test that silently stopped running.  Only capacity-family
+          scenarios can expose it. *)
 
 type failure = {
   kind : string;  (** "divergence", "trace-invariant", "rate", ... *)

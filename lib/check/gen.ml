@@ -6,6 +6,7 @@ module Network = Aqt_engine.Network
 module Sim = Aqt_engine.Sim
 module Policies = Aqt_policy.Policies
 module Stock = Aqt_adversary.Stock
+module Capacity = Aqt_capacity.Model
 
 type obligation =
   | Rate_ok of Ratio.t
@@ -22,6 +23,7 @@ type scenario = {
   initial : int array list;
   schedule : Network.injection list array;
   reroutes : bool;
+  capacity : Capacity.t;
   obligations : obligation list;
 }
 
@@ -110,6 +112,7 @@ let free prng seed =
     initial;
     schedule;
     reroutes;
+    capacity = Capacity.unbounded;
     obligations = [];
   }
 
@@ -132,6 +135,7 @@ let shared_bucket prng seed =
     initial = [];
     schedule = materialize ~graph adv.Stock.driver ~horizon;
     reroutes = false;
+    capacity = Capacity.unbounded;
     obligations = [ Rate_ok rate ];
   }
 
@@ -161,6 +165,7 @@ let windowed prng seed =
     initial = [];
     schedule = materialize ~graph adv.Stock.driver ~horizon;
     reroutes = false;
+    capacity = Capacity.unbounded;
     obligations = [ Windowed_ok { w; rate }; Dwell_bound { w; rate; d } ];
   }
 
@@ -187,16 +192,79 @@ let leaky prng seed =
     initial = [];
     schedule = materialize ~graph adv.Stock.driver ~horizon;
     reroutes = false;
+    capacity = Capacity.unbounded;
     obligations = [ Leaky_ok { b; rate } ];
+  }
+
+(* The capacity regime: dense free-style schedules against small finite
+   buffers (all three drop disciplines) and link speedups 1..3, so drops,
+   displacements and multi-sends all actually happen.  Unlike the other
+   families the point is not an adversary class but the admission logic
+   itself: every engine drop decision must match the oracle's. *)
+let capacity_regime prng seed =
+  let graph, pool, topo = overlapping_pool prng in
+  let pool = Array.of_list pool in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  let reroutes = Prng.bool prng in
+  let speedup = 1 + Prng.int prng 3 in
+  let m = Digraph.n_edges graph in
+  let capacity =
+    match Prng.int prng 4 with
+    | 0 ->
+        Capacity.make ~speedup
+          (Capacity.Uniform { cap = Prng.int prng 3; policy = Capacity.Drop_tail })
+    | 1 ->
+        Capacity.make ~speedup
+          (Capacity.Uniform { cap = 1 + Prng.int prng 3; policy = Capacity.Drop_head })
+    | 2 ->
+        Capacity.make ~speedup
+          (Capacity.Per_edge
+             {
+               caps = Array.init m (fun _ -> Prng.int prng 4);
+               policy = (if Prng.bool prng then Capacity.Drop_head else Capacity.Drop_tail);
+             })
+    | _ ->
+        Capacity.make ~speedup
+          (Capacity.Shared
+             {
+               total = 1 + Prng.int prng 8;
+               alpha_num = 1 + Prng.int prng 2;
+               alpha_den = 1 + Prng.int prng 2;
+             })
+  in
+  let n_initial = Prng.int prng 4 in
+  let initial = List.init n_initial (fun _ -> Prng.pick prng pool) in
+  let horizon = 20 + Prng.int prng 31 in
+  let schedule =
+    Array.init horizon (fun _ ->
+        List.init (Prng.int prng 5) (fun _ : Network.injection ->
+            { route = Prng.pick prng pool; tag = "cap" }))
+  in
+  {
+    seed;
+    label =
+      Printf.sprintf "capacity %s %s %s%s" topo policy.name
+        (Capacity.describe capacity)
+        (if reroutes then " +reroutes" else "");
+    graph;
+    policy;
+    tie_order;
+    initial;
+    schedule;
+    reroutes;
+    capacity;
+    obligations = [];
   }
 
 let generate seed =
   let prng = Prng.create seed in
-  match Prng.int prng 4 with
+  match Prng.int prng 5 with
   | 0 -> free prng seed
   | 1 -> shared_bucket prng seed
   | 2 -> windowed prng seed
-  | _ -> leaky prng seed
+  | 3 -> leaky prng seed
+  | _ -> capacity_regime prng seed
 
 let pp_obligation fmt = function
   | Rate_ok rate -> Format.fprintf fmt "rate-%a all-intervals" Ratio.pp rate
@@ -212,6 +280,8 @@ let pp fmt s =
   Format.fprintf fmt "@[<v>seed %d: %s@," s.seed s.label;
   Format.fprintf fmt "graph: %d nodes, %d edges; horizon %d@,"
     (Digraph.n_nodes s.graph) (Digraph.n_edges s.graph) (horizon s);
+  if not (Capacity.is_trivial s.capacity) then
+    Format.fprintf fmt "capacity: %s@," (Capacity.describe s.capacity);
   if s.initial <> [] then begin
     Format.fprintf fmt "initial:@,";
     List.iter

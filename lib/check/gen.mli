@@ -8,7 +8,7 @@
     schedule, and the list of {e obligations} the run must satisfy beyond
     agreeing with the reference model.
 
-    Four families are drawn (the family is the seed's first decision):
+    Five families are drawn (the family is the seed's first decision):
 
     - {b free}: arbitrary injection schedules over rings and lines, any
       deterministic policy, optional rerouting — maximal schedule
@@ -22,7 +22,15 @@
       (r = 1/d, time-priority policies) applies — obligations
       [Windowed_ok] and [Dwell_bound];
     - {b leaky}: a (b,r) {!Aqt_adversary.Stock.leaky_bucket} over
-      edge-disjoint routes — obligation [Leaky_ok].
+      edge-disjoint routes — obligation [Leaky_ok];
+    - {b capacity}: dense free-style schedules against a finite
+      {!Aqt_capacity.Model} — small uniform, per-edge or Dynamic-Threshold
+      shared buffers under every drop discipline, link speedups 1..3 — so
+      the engine's admission, eviction and multi-send decisions are
+      differentially checked against the oracle's.
+
+    The first four families always carry the unbounded capacity model, so
+    the paper's regime keeps its full differential coverage.
 
     Schedules from stock adversaries are materialised once at generation
     time, so the reference model, the fast engine and the traced engine
@@ -54,6 +62,9 @@ type scenario = {
           the horizon is the array length. *)
   reroutes : bool;
       (** Run the deterministic truncation-reroute pass before each step. *)
+  capacity : Aqt_capacity.Model.t;
+      (** The buffer/speedup regime all three arms run under; unbounded for
+          every family except {b capacity}. *)
   obligations : obligation list;
 }
 

@@ -1,6 +1,7 @@
 module P = Aqt_engine.Packet
 module Digraph = Aqt_graph.Digraph
 module Network = Aqt_engine.Network
+module Capacity = Aqt_capacity.Model
 
 (* One buffered packet: priority key (fixed at enqueue), per-buffer arrival
    sequence number, packet record.  The buffer forwards the least (key, seq);
@@ -12,6 +13,12 @@ type t = {
   graph : Digraph.t;
   policy : Aqt_engine.Policy_type.t;
   tie_order : Network.tie_order;
+  capacity : Capacity.t;
+  caps : int array; (* static per-edge limits, max_int where none *)
+  mutable dropped : int;
+  mutable displaced : int;
+  dropped_edge : int array;
+  mutable peak_occupancy : int;
   buffers : slot list array; (* arrival order; selection sorts on demand *)
   seqs : int array; (* per-buffer arrival counters *)
   mutable active : int list; (* nonempty buffers, activation order *)
@@ -35,12 +42,19 @@ type t = {
   last_use : int array;
 }
 
-let create ?(tie_order = Network.Transit_first) ~graph ~policy () =
+let create ?(tie_order = Network.Transit_first)
+    ?(capacity = Capacity.unbounded) ~graph ~policy () =
   let m = Digraph.n_edges graph in
   {
     graph;
     policy;
     tie_order;
+    capacity;
+    caps = Capacity.caps capacity ~m;
+    dropped = 0;
+    displaced = 0;
+    dropped_edge = Array.make m 0;
+    peak_occupancy = 0;
     buffers = Array.make m [];
     seqs = Array.make m 0;
     active = [];
@@ -67,6 +81,13 @@ let check_route t route =
       (Format.asprintf "Ref_model: route %a is not a simple path"
          (Digraph.pp_route t.graph) route)
 
+let slot_compare a b = compare (a.key, a.seq) (b.key, b.seq)
+
+(* Total buffered population, recomputed from scratch — the naive reading of
+   the quantity the engine maintains incrementally. *)
+let occupancy t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.buffers
+
 let enqueue t (p : P.t) e =
   p.P.buffered_at <- t.now;
   let seq = t.seqs.(e) in
@@ -74,9 +95,46 @@ let enqueue t (p : P.t) e =
   let key = t.policy.key p ~now:t.now ~seq in
   t.buffers.(e) <- t.buffers.(e) @ [ { key; seq; pkt = p } ];
   if not (List.mem e t.active) then t.active <- t.active @ [ e ];
+  let occ = occupancy t in
+  if occ > t.peak_occupancy then t.peak_occupancy <- occ;
   let len = List.length t.buffers.(e) in
   if len > t.max_queue then t.max_queue <- len;
   if len > t.max_queue_edge.(e) then t.max_queue_edge.(e) <- len
+
+let drop_packet t (_p : P.t) e ~displaced =
+  t.dropped <- t.dropped + 1;
+  t.dropped_edge.(e) <- t.dropped_edge.(e) + 1;
+  if displaced then t.displaced <- t.displaced + 1;
+  t.in_flight <- t.in_flight - 1
+
+(* Capacity-model arrival, mirroring [Network]'s admission exactly: a
+   Shared model admits by the Dynamic-Threshold test (rejections are tail
+   drops); a static cap rejects the arrival (drop-tail) or evicts the least
+   (key, seq) slot — the packet the policy would forward next (drop-head);
+   the unbounded model is a plain enqueue. *)
+let admit t (p : P.t) e =
+  if Capacity.is_unbounded t.capacity then enqueue t p e
+  else begin
+    let total = Capacity.shared_total t.capacity in
+    let len = List.length t.buffers.(e) in
+    if total <> max_int then begin
+      let alpha_num, alpha_den = Capacity.alpha t.capacity in
+      if
+        Capacity.dt_admits ~alpha_num ~alpha_den ~total
+          ~occupancy:(occupancy t) ~len
+      then enqueue t p e
+      else drop_packet t p e ~displaced:false
+    end
+    else if len < t.caps.(e) then enqueue t p e
+    else if Capacity.drop_head t.capacity && len > 0 then begin
+      let victim = List.hd (List.sort slot_compare t.buffers.(e)) in
+      t.buffers.(e) <-
+        List.filter (fun s -> s.seq <> victim.seq) t.buffers.(e);
+      drop_packet t victim.pkt e ~displaced:true;
+      enqueue t p e
+    end
+    else drop_packet t p e ~displaced:false
+  end
 
 let fresh_packet t ~initial ~tag route : P.t =
   let id = t.next_id in
@@ -105,7 +163,7 @@ let place_initial t ?(tag = "init") route =
   t.initials <- t.initials + 1;
   t.in_flight <- t.in_flight + 1;
   mark_route_use t route;
-  enqueue t p route.(0);
+  admit t p route.(0);
   p
 
 let absorb t (p : P.t) =
@@ -123,35 +181,44 @@ let inject t (inj : Network.injection) =
   t.in_flight <- t.in_flight + 1;
   mark_route_use t route;
   t.log <- (p.P.injected_at, p.P.id, p) :: t.log;
-  enqueue t p route.(0)
+  admit t p route.(0)
 
 let deliver t pending =
   List.iter
     (fun (p : P.t) ->
       p.P.hop <- p.P.hop + 1;
       if p.P.hop >= Array.length p.P.route then absorb t p
-      else enqueue t p p.P.route.(p.P.hop))
+      else admit t p p.P.route.(p.P.hop))
     pending
 
-let slot_compare a b = compare (a.key, a.seq) (b.key, b.seq)
+let rec first_n n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: first_n (n - 1) rest
 
 let step t injections =
   t.now <- t.now + 1;
-  (* Substep 1: every nonempty buffer forwards its least (key, seq) packet,
-     simultaneously — all removals happen before any substep-2 enqueue.
-     Edges that stay nonempty keep their active-list order. *)
+  (* Substep 1: every nonempty buffer forwards its (up to [speedup]) least
+     (key, seq) packets, simultaneously — all removals happen before any
+     substep-2 enqueue.  Edges that stay nonempty keep their active-list
+     order. *)
+  let speedup = Capacity.speedup t.capacity in
   let old_active = t.active in
   let forwards =
-    List.map
+    List.concat_map
       (fun e ->
-        let best = List.hd (List.sort slot_compare t.buffers.(e)) in
-        t.buffers.(e) <-
-          List.filter (fun s -> s.seq <> best.seq) t.buffers.(e);
-        let p = best.pkt in
-        let dwell = t.now - p.P.buffered_at in
-        if dwell > t.max_dwell then t.max_dwell <- dwell;
-        t.sent_edge.(e) <- t.sent_edge.(e) + 1;
-        (e, p))
+        let chosen =
+          first_n speedup (List.sort slot_compare t.buffers.(e))
+        in
+        List.map
+          (fun best ->
+            t.buffers.(e) <-
+              List.filter (fun s -> s.seq <> best.seq) t.buffers.(e);
+            let p = best.pkt in
+            let dwell = t.now - p.P.buffered_at in
+            if dwell > t.max_dwell then t.max_dwell <- dwell;
+            t.sent_edge.(e) <- t.sent_edge.(e) + 1;
+            (e, p))
+          chosen)
       old_active
   in
   t.active <- List.filter (fun e -> t.buffers.(e) <> []) old_active;
@@ -211,6 +278,10 @@ let delivered_latency_mean t =
 
 let reroute_count t = t.reroutes
 let last_injection_on t e = t.last_use.(e)
+let dropped t = t.dropped
+let displaced t = t.displaced
+let dropped_on_edge t e = t.dropped_edge.(e)
+let peak_occupancy t = t.peak_occupancy
 
 let injection_log t =
   let all =

@@ -30,10 +30,15 @@ type t
 
 val create :
   ?tie_order:Aqt_engine.Network.tie_order ->
+  ?capacity:Aqt_capacity.Model.t ->
   graph:Aqt_graph.Digraph.t ->
   policy:Aqt_engine.Policy_type.t ->
   unit ->
   t
+(** [capacity] (default unbounded) mirrors the engine's finite-buffer and
+    link-speedup semantics naively: static caps compare against a
+    [List.length], the Dynamic-Threshold test recomputes the occupancy by
+    summing every buffer, the drop-head victim is found by sorting. *)
 
 (** {1 Driving} *)
 
@@ -44,7 +49,8 @@ val place_initial : t -> ?tag:string -> int array -> Aqt_engine.Packet.t
 val step : t -> Aqt_engine.Network.injection list -> (int * int) list
 (** One global step.  Returns the substep-1 forwards as [(edge, packet id)]
     pairs in forwarding order — the reference answer for the trace-level
-    invariants (one packet per link per step, greedy non-idling). *)
+    invariants (at most [speedup] packets per link per step, greedy
+    non-idling).  With speedup s > 1 an edge may appear up to s times. *)
 
 val reroute : t -> Aqt_engine.Packet.t -> int array -> unit
 (** Mirrors [Network.reroute]: rewrite the route suffix beyond the current
@@ -72,6 +78,10 @@ val delivered_latency_max : t -> int
 val delivered_latency_mean : t -> float
 val reroute_count : t -> int
 val last_injection_on : t -> int -> int
+val dropped : t -> int
+val displaced : t -> int
+val dropped_on_edge : t -> int -> int
+val peak_occupancy : t -> int
 
 val injection_log : t -> (int * int array) array
 (** [(injection time, final effective route)] of every adversary-injected

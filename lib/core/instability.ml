@@ -105,6 +105,7 @@ let run ?(policy = Aqt_policy.Policies.fifo) ?tie_order ?(resilient = false)
             final_in_flight = Network.in_flight net;
             max_queue = Network.max_queue_ever net;
             max_dwell = Network.max_dwell net;
+            dropped = Network.dropped net;
           },
           Some msg )
   in

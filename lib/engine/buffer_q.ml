@@ -34,6 +34,8 @@ let enqueue b (policy : Policy_type.t) ~now (p : Packet.t) =
       let key = policy.key p ~now ~seq in
       H.add h ~key ~tie:seq p
 
+type admit = Admitted | Rejected | Displaced of Packet.t
+
 (* Option-returning primitives, not try/with: the dequeue path runs once per
    nonempty buffer per step and must not allocate exceptions. *)
 let dequeue b =
@@ -50,6 +52,25 @@ let take b =
   | Fifo d -> Dq.pop_front d
   | Lifo d -> Dq.pop_back d
   | Keyed h -> H.pop_min h
+
+(* Capacity-aware insertion.  A full buffer either rejects the arrival
+   (drop-tail) or, with [drop_head], evicts the packet the policy would
+   forward next — the head of the service order, so FIFO sheds its oldest
+   packet and LIFO its newest.  [cap = 0] rejects unconditionally: there is
+   no occupant to displace in favour of the arrival.  The arrival sequence
+   counter advances only for packets actually admitted. *)
+let enqueue_capped b policy ~now ~cap ~drop_head (p : Packet.t) =
+  let len = length b in
+  if len < cap then begin
+    enqueue b policy ~now p;
+    Admitted
+  end
+  else if drop_head && len > 0 then begin
+    let victim = take b in
+    enqueue b policy ~now p;
+    Displaced victim
+  end
+  else Rejected
 
 let peek b =
   match b.impl with

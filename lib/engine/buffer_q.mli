@@ -15,6 +15,21 @@ val is_empty : t -> bool
 val enqueue : t -> Policy_type.t -> now:int -> Packet.t -> unit
 (** Computes the policy key for the packet and inserts it. *)
 
+type admit =
+  | Admitted  (** the arrival was enqueued *)
+  | Rejected  (** the buffer was full (or [cap = 0]); the arrival is lost *)
+  | Displaced of Packet.t
+      (** the arrival was enqueued after evicting the returned packet — the
+          one the policy would have forwarded next *)
+
+val enqueue_capped :
+  t -> Policy_type.t -> now:int -> cap:int -> drop_head:bool -> Packet.t ->
+  admit
+(** [enqueue] against a finite capacity [cap].  With [drop_head] a full
+    buffer evicts its service-order head to admit the arrival; without it
+    the arrival is rejected (drop-tail).  [cap = 0] always rejects.  Only
+    admitted packets advance the {!arrivals} counter. *)
+
 val dequeue : t -> Packet.t option
 (** Removes and returns the packet the policy forwards next. *)
 
@@ -31,4 +46,5 @@ val to_sorted_list : t -> Packet.t list
 (** Forwarding order (head of the queue first). *)
 
 val arrivals : t -> int
-(** Total packets ever enqueued here (the arrival sequence counter). *)
+(** Total packets ever admitted here (the arrival sequence counter);
+    arrivals rejected by {!enqueue_capped} do not count. *)

@@ -1,5 +1,6 @@
 module Dyn = Aqt_util.Dynarray_compat
 module Digraph = Aqt_graph.Digraph
+module Capacity = Aqt_capacity.Model
 
 type injection = { route : int array; tag : string }
 type tie_order = Transit_first | Injection_first
@@ -19,6 +20,20 @@ type t = {
      [recycle] is on so steady-state runs stop churning the heap. *)
   recycle : bool;
   pool : Packet.t Dyn.t;
+  (* The capacity model, compiled: [bounded] gates every drop branch, so the
+     unbounded regime runs the original code path; [caps] holds the static
+     per-edge limits (max_int where none applies); a Shared model sets
+     [shared_total] finite and admits by the Dynamic-Threshold test against
+     [occupancy].  [speedup] is the link speed s (packets forwarded per edge
+     per step). *)
+  capacity : Capacity.t;
+  bounded : bool;
+  speedup : int;
+  caps : int array;
+  drop_head : bool;
+  shared_total : int;
+  dt_num : int;
+  dt_den : int;
   mutable now : int;
   mutable next_id : int;
   mutable in_flight : int;
@@ -26,6 +41,15 @@ type t = {
   mutable injected : int;
   mutable initials : int;
   mutable reroutes : int;
+  (* Drop accounting.  [occupancy] is the total buffered population — equal
+     to [in_flight] between steps, but maintained separately because the
+     Dynamic-Threshold admission test reads it mid-substep, while packets in
+     transit are in flight without occupying a buffer. *)
+  mutable occupancy : int;
+  mutable peak_occupancy : int;
+  mutable dropped : int;
+  mutable displaced : int;
+  dropped_edge : int array;
   (* Active-edge bookkeeping: [active] lists exactly the edges with nonempty
      buffers, [active_flag] mirrors membership. *)
   mutable active : int Dyn.t;
@@ -50,7 +74,7 @@ type t = {
 
 let create ?(log_injections = false) ?(validate_routes = true)
     ?(tie_order = Transit_first) ?tracer ?route_table ?(recycle = false)
-    ~graph ~policy () =
+    ?(capacity = Capacity.unbounded) ~graph ~policy () =
   let m = Digraph.n_edges graph in
   {
     graph;
@@ -65,6 +89,14 @@ let create ?(log_injections = false) ?(validate_routes = true)
       | None -> Route_intern.create ());
     recycle;
     pool = Dyn.create ();
+    capacity;
+    bounded = not (Capacity.is_unbounded capacity);
+    speedup = Capacity.speedup capacity;
+    caps = Capacity.caps capacity ~m;
+    drop_head = Capacity.drop_head capacity;
+    shared_total = Capacity.shared_total capacity;
+    dt_num = fst (Capacity.alpha capacity);
+    dt_den = snd (Capacity.alpha capacity);
     now = 0;
     next_id = 0;
     in_flight = 0;
@@ -72,6 +104,11 @@ let create ?(log_injections = false) ?(validate_routes = true)
     injected = 0;
     initials = 0;
     reroutes = 0;
+    occupancy = 0;
+    peak_occupancy = 0;
+    dropped = 0;
+    displaced = 0;
+    dropped_edge = Array.make m 0;
     active = Dyn.create ();
     active_scratch = Dyn.create ();
     active_flag = Array.make m false;
@@ -108,16 +145,83 @@ let intern_route t route =
       check_route t route;
       Route_intern.add t.routes route
 
-let enqueue_at t (p : Packet.t) e =
-  p.buffered_at <- t.now;
-  Buffer_q.enqueue t.buffers.(e) t.policy ~now:t.now p;
+let post_enqueue t e =
   if not t.active_flag.(e) then begin
     t.active_flag.(e) <- true;
     Dyn.push t.active e
   end;
+  t.occupancy <- t.occupancy + 1;
+  if t.occupancy > t.peak_occupancy then t.peak_occupancy <- t.occupancy;
   let len = Buffer_q.length t.buffers.(e) in
   if len > t.max_queue then t.max_queue <- len;
   if len > t.max_queue_edge.(e) then t.max_queue_edge.(e) <- len
+
+let enqueue_at t (p : Packet.t) e =
+  p.buffered_at <- t.now;
+  Buffer_q.enqueue t.buffers.(e) t.policy ~now:t.now p;
+  post_enqueue t e
+
+(* The victim [p] is out of the system: it was either never buffered (an
+   overflow arrival) or just evicted from its buffer (drop-head); the caller
+   has already settled [occupancy].  Like [absorb] it closes the packet's
+   life — log entry, tracer event, recycling — but books it under [dropped],
+   keeping created = absorbed + in flight + dropped. *)
+let drop_packet t (p : Packet.t) e ~displaced =
+  t.dropped <- t.dropped + 1;
+  t.dropped_edge.(e) <- t.dropped_edge.(e) + 1;
+  if displaced then t.displaced <- t.displaced + 1;
+  t.in_flight <- t.in_flight - 1;
+  (match t.tracer with
+  | None -> ()
+  | Some f -> f (Trace.Dropped { t = t.now; packet = p.id; edge = e; displaced }));
+  (match t.absorbed_log with
+  | Some log when not p.exogenous ->
+      Dyn.push log (p.injected_at, p.id, p.initial, p.route)
+  | _ -> ());
+  if t.recycle then Dyn.push t.pool p
+
+(* Arrival of [p] (already counted in [in_flight]) at the buffer of [e]
+   under the capacity model; returns whether the packet survived.  The
+   unbounded branch is the original enqueue — no length reads, no drop
+   bookkeeping. *)
+let admit t (p : Packet.t) e =
+  if not t.bounded then begin
+    enqueue_at t p e;
+    true
+  end
+  else if t.shared_total <> max_int then begin
+    (* Dynamic-Threshold shared buffer: rejections are tail drops. *)
+    let len = Buffer_q.length t.buffers.(e) in
+    if
+      Capacity.dt_admits ~alpha_num:t.dt_num ~alpha_den:t.dt_den
+        ~total:t.shared_total ~occupancy:t.occupancy ~len
+    then begin
+      enqueue_at t p e;
+      true
+    end
+    else begin
+      drop_packet t p e ~displaced:false;
+      false
+    end
+  end
+  else begin
+    p.buffered_at <- t.now;
+    match
+      Buffer_q.enqueue_capped t.buffers.(e) t.policy ~now:t.now
+        ~cap:t.caps.(e) ~drop_head:t.drop_head p
+    with
+    | Buffer_q.Admitted ->
+        post_enqueue t e;
+        true
+    | Buffer_q.Rejected ->
+        drop_packet t p e ~displaced:false;
+        false
+    | Buffer_q.Displaced victim ->
+        t.occupancy <- t.occupancy - 1;
+        drop_packet t victim e ~displaced:true;
+        post_enqueue t e;
+        true
+  end
 
 (* [route] must already be canonical (interned) or freshly allocated; no
    defensive copy happens here. *)
@@ -163,7 +267,6 @@ let place_initial t ?(tag = "init") route =
   t.initials <- t.initials + 1;
   t.in_flight <- t.in_flight + 1;
   mark_route_use t route;
-  enqueue_at t p route.(0);
   (match t.tracer with
   | None -> ()
   | Some f ->
@@ -176,6 +279,7 @@ let place_initial t ?(tag = "init") route =
              route_len = Array.length route;
              initial = true;
            }));
+  ignore (admit t p route.(0));
   p
 
 let absorb t (p : Packet.t) =
@@ -200,8 +304,7 @@ let inject t ~exogenous (inj : injection) =
   t.injected <- t.injected + 1;
   t.in_flight <- t.in_flight + 1;
   if not exogenous then mark_route_use t route;
-  enqueue_at t p route.(0);
-  match t.tracer with
+  (match t.tracer with
   | None -> ()
   | Some f ->
       f
@@ -212,7 +315,8 @@ let inject t ~exogenous (inj : injection) =
              edge = route.(0);
              route_len = Array.length route;
              initial = false;
-           })
+           }));
+  ignore (admit t p route.(0))
 
 (* Top-level helpers rather than local closures: [step] is the hot loop and
    must not allocate a closure per call. *)
@@ -222,7 +326,7 @@ let deliver t =
     let p : Packet.t = Dyn.get t.pending i in
     p.hop <- p.hop + 1;
     if p.hop >= Array.length p.route then absorb t p
-    else enqueue_at t p (Array.unsafe_get p.route p.hop)
+    else ignore (admit t p (Array.unsafe_get p.route p.hop))
   done
 
 let rec inject_all t ~exogenous = function
@@ -241,22 +345,47 @@ let step t ?(exogenous = []) injections =
   t.active_scratch <- old_active;
   Dyn.clear t.active;
   let n_active = Dyn.length old_active in
-  for i = 0 to n_active - 1 do
-    let e = Dyn.get old_active i in
-    let buf = t.buffers.(e) in
-    (* The active list never holds empty buffers, so [take] cannot fail. *)
-    let p = Buffer_q.take buf in
-    let dwell = t.now - p.buffered_at in
-    if dwell > t.max_dwell then t.max_dwell <- dwell;
-    t.sent_edge.(e) <- t.sent_edge.(e) + 1;
-    (match t.tracer with
-    | None -> ()
-    | Some f ->
-        f (Trace.Forwarded { t = t.now; packet = p.id; edge = e; dwell }));
-    Dyn.push t.pending p;
-    if Buffer_q.is_empty buf then t.active_flag.(e) <- false
-    else Dyn.push t.active e
-  done;
+  if t.speedup = 1 then
+    for i = 0 to n_active - 1 do
+      let e = Dyn.get old_active i in
+      let buf = t.buffers.(e) in
+      (* The active list never holds empty buffers, so [take] cannot fail. *)
+      let p = Buffer_q.take buf in
+      t.occupancy <- t.occupancy - 1;
+      let dwell = t.now - p.buffered_at in
+      if dwell > t.max_dwell then t.max_dwell <- dwell;
+      t.sent_edge.(e) <- t.sent_edge.(e) + 1;
+      (match t.tracer with
+      | None -> ()
+      | Some f ->
+          f (Trace.Forwarded { t = t.now; packet = p.id; edge = e; dwell }));
+      Dyn.push t.pending p;
+      if Buffer_q.is_empty buf then t.active_flag.(e) <- false
+      else Dyn.push t.active e
+    done
+  else
+    for i = 0 to n_active - 1 do
+      let e = Dyn.get old_active i in
+      let buf = t.buffers.(e) in
+      (* Link speedup s: up to s sends per edge, still simultaneous — every
+         dequeue of the substep happens before any enqueue. *)
+      let len = Buffer_q.length buf in
+      let k = if len < t.speedup then len else t.speedup in
+      for _ = 1 to k do
+        let p = Buffer_q.take buf in
+        t.occupancy <- t.occupancy - 1;
+        let dwell = t.now - p.buffered_at in
+        if dwell > t.max_dwell then t.max_dwell <- dwell;
+        t.sent_edge.(e) <- t.sent_edge.(e) + 1;
+        (match t.tracer with
+        | None -> ()
+        | Some f ->
+            f (Trace.Forwarded { t = t.now; packet = p.id; edge = e; dwell }));
+        Dyn.push t.pending p
+      done;
+      if Buffer_q.is_empty buf then t.active_flag.(e) <- false
+      else Dyn.push t.active e
+    done;
   (* Substep 2: deliveries and injections, in the configured tie order. *)
   (match t.tie_order with
   | Transit_first ->
@@ -294,6 +423,13 @@ let in_flight t = t.in_flight
 let absorbed t = t.absorbed
 let injected_count t = t.injected
 let initial_count t = t.initials
+let capacity t = t.capacity
+let speedup t = t.speedup
+let dropped t = t.dropped
+let displaced t = t.displaced
+let dropped_on_edge t e = t.dropped_edge.(e)
+let occupancy t = t.occupancy
+let peak_occupancy t = t.peak_occupancy
 
 let iter_buffered f t =
   Dyn.iter (fun e -> Buffer_q.iter f t.buffers.(e)) t.active

@@ -36,6 +36,7 @@ val create :
   ?tracer:(Trace.event -> unit) ->
   ?route_table:Route_intern.t ->
   ?recycle:bool ->
+  ?capacity:Aqt_capacity.Model.t ->
   graph:Aqt_graph.Digraph.t ->
   policy:Policy_type.t ->
   unit ->
@@ -57,7 +58,14 @@ val create :
     [recycle] (default false) pools absorbed packet records on a free-list
     and reuses them for later injections, making steady-state stepping
     allocation-free.  Enable it only when no code retains [Packet.t] values
-    past absorption (holding buffered packets between steps is fine). *)
+    past absorption (holding buffered packets between steps is fine).  With
+    a finite [capacity] model, dropped packets are pooled too.
+    [capacity] (default {!Aqt_capacity.Model.unbounded}) selects the
+    finite-buffer / link-speedup regime of arXiv:1707.03856 and
+    arXiv:1902.08069: arrivals to full buffers are dropped under the
+    model's discipline and every edge forwards up to [speedup] packets per
+    step.  The default is byte-identical to the pre-capacity engine — no
+    admission test runs on the unbounded path. *)
 
 val graph : t -> Aqt_graph.Digraph.t
 val policy : t -> Policy_type.t
@@ -103,9 +111,36 @@ val buffer_packets : t -> int -> Packet.t list
 val in_flight : t -> int
 val absorbed : t -> int
 val injected_count : t -> int
-(** Adversary injections so far (initial-configuration packets excluded). *)
+(** Adversary injections so far (initial-configuration packets excluded).
+    Injections dropped on arrival still count — the adversary spent them. *)
 
 val initial_count : t -> int
+
+(** {1 Capacity and drops}
+
+    With the default unbounded model, [dropped] and [displaced] stay 0 and
+    [occupancy] equals {!in_flight} between steps.  Conservation holds as
+    [initial_count + injected_count = absorbed + in_flight + dropped]. *)
+
+val capacity : t -> Aqt_capacity.Model.t
+val speedup : t -> int
+
+val dropped : t -> int
+(** Packets lost to the capacity model so far (overflow + displaced). *)
+
+val displaced : t -> int
+(** The drop-head subset of {!dropped}: buffered packets evicted by an
+    arrival. *)
+
+val dropped_on_edge : t -> int -> int
+(** Packets lost at the buffer of edge [e]. *)
+
+val occupancy : t -> int
+(** Total buffered population right now (the quantity the
+    Dynamic-Threshold admission test reads). *)
+
+val peak_occupancy : t -> int
+(** Largest total buffered population ever reached. *)
 
 val iter_buffered : (Packet.t -> unit) -> t -> unit
 (** Every packet currently in some buffer. *)

@@ -5,6 +5,7 @@ type sample = {
   in_flight : int;
   cur_max_queue : int;
   absorbed : int;
+  dropped : int;
   max_dwell : int;
   (* Cumulative GC counters at sampling time (Gc.quick_stat, no collection
      triggered): campaigns record allocation per step, and the fast-path
@@ -31,6 +32,7 @@ let observe r net =
         in_flight = Network.in_flight net;
         cur_max_queue = Network.current_max_queue net;
         absorbed = Network.absorbed net;
+        dropped = Network.dropped net;
         max_dwell = Network.max_dwell net;
         (* quick_stat's minor_words only refreshes at GC events (OCaml 5);
            Gc.minor_words reads the allocation pointer and is exact. *)
@@ -53,6 +55,7 @@ let to_rows r =
            ("in_flight", float_of_int s.in_flight);
            ("max_queue", float_of_int s.cur_max_queue);
            ("absorbed", float_of_int s.absorbed);
+           ("dropped", float_of_int s.dropped);
            ("max_dwell", float_of_int s.max_dwell);
            ("gc_minor_words", s.gc_minor_words);
            ("gc_major_words", s.gc_major_words);

@@ -8,6 +8,7 @@ type sample = {
   in_flight : int;
   cur_max_queue : int;
   absorbed : int;
+  dropped : int;  (** cumulative capacity-model drops (0 when unbounded) *)
   max_dwell : int;
   gc_minor_words : float;
       (** Cumulative minor-heap words allocated by this process at sampling
@@ -32,8 +33,8 @@ val length : t -> int
 
 val to_rows : t -> (string * float) list list
 (** One labelled row per sample, in time order — the keys are [t],
-    [in_flight], [max_queue], [absorbed], [max_dwell], [gc_minor_words],
-    [gc_major_words].  This is the exchange format for embedding sampled
+    [in_flight], [max_queue], [absorbed], [dropped], [max_dwell],
+    [gc_minor_words], [gc_major_words].  This is the exchange format for embedding sampled
     trajectories in campaign journals and cached results without ad-hoc
     formatting at the call site. *)
 

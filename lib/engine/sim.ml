@@ -16,6 +16,7 @@ type outcome = {
   final_in_flight : int;
   max_queue : int;
   max_dwell : int;
+  dropped : int;
 }
 
 let run ?recorder ?blowup ?stop_when ?(drain_stop = false) ~net ~driver
@@ -64,6 +65,7 @@ let run ?recorder ?blowup ?stop_when ?(drain_stop = false) ~net ~driver
     final_in_flight = Network.in_flight net;
     max_queue = Network.max_queue_ever net;
     max_dwell = Network.max_dwell net;
+    dropped = Network.dropped net;
   }
 
 (* The fast path for steady-state campaigns: no outcome record, no blowup or

@@ -26,6 +26,7 @@ type outcome = {
   final_in_flight : int;
   max_queue : int;
   max_dwell : int;
+  dropped : int;  (** capacity-model drops over the run (0 when unbounded) *)
 }
 
 val run :

@@ -5,6 +5,7 @@ type event =
   | Forwarded of { t : int; packet : int; edge : int; dwell : int }
   | Absorbed of { t : int; packet : int; latency : int }
   | Rerouted of { t : int; packet : int; route_len : int }
+  | Dropped of { t : int; packet : int; edge : int; displaced : bool }
 
 let pp_event fmt = function
   | Injected { t; packet; edge; route_len; initial } ->
@@ -18,17 +19,21 @@ let pp_event fmt = function
       Format.fprintf fmt "t=%d absorb #%d (latency %d)" t packet latency
   | Rerouted { t; packet; route_len } ->
       Format.fprintf fmt "t=%d reroute #%d (route now %d)" t packet route_len
+  | Dropped { t; packet; edge; displaced } ->
+      Format.fprintf fmt "t=%d drop #%d at edge %d (%s)" t packet edge
+        (if displaced then "displaced" else "overflow")
 
 let time_of = function
   | Injected { t; _ } | Forwarded { t; _ } | Absorbed { t; _ }
-  | Rerouted { t; _ } ->
+  | Rerouted { t; _ } | Dropped { t; _ } ->
       t
 
 let packet_of = function
   | Injected { packet; _ }
   | Forwarded { packet; _ }
   | Absorbed { packet; _ }
-  | Rerouted { packet; _ } ->
+  | Rerouted { packet; _ }
+  | Dropped { packet; _ } ->
       packet
 
 type t = { store : event Dyn.t }
@@ -53,6 +58,7 @@ let count_forwarded t =
 let count_absorbed t = count (function Absorbed _ -> true | _ -> false) t
 let count_injected t = count (function Injected _ -> true | _ -> false) t
 let count_rerouted t = count (function Rerouted _ -> true | _ -> false) t
+let count_dropped t = count (function Dropped _ -> true | _ -> false) t
 
 let hop_times t id =
   List.filter_map

@@ -14,6 +14,12 @@ type event =
   | Absorbed of { t : int; packet : int; latency : int }
   | Rerouted of { t : int; packet : int; route_len : int }
       (** Route suffix rewritten; [route_len] is the new full length. *)
+  | Dropped of { t : int; packet : int; edge : int; displaced : bool }
+      (** Packet lost at the buffer of [edge] under a finite capacity model:
+          an arrival that overflowed ([displaced = false]) or a buffered
+          head packet pushed out by a drop-head arrival ([displaced =
+          true]).  Always follows the victim's last Injected/Forwarded
+          event. *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -37,6 +43,7 @@ val count_forwarded : t -> int
 val count_absorbed : t -> int
 val count_injected : t -> int
 val count_rerouted : t -> int
+val count_dropped : t -> int
 
 val hop_times : t -> int -> (int * int) list
 (** [(time, edge)] pairs of a packet's forwards — its trajectory. *)

@@ -1,3 +1,4 @@
+module Jsonx = Aqt_util.Jsonx
 type t = { dir : string }
 
 let rec mkdir_p dir =

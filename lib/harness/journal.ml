@@ -1,3 +1,4 @@
+module Jsonx = Aqt_util.Jsonx
 type outcome = Done | Cached | Failed of string | Timed_out
 
 let outcome_to_string = function

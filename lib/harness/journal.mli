@@ -61,8 +61,8 @@ type event =
           ["serve.metrics"], one value per series) so a scrape-less
           deployment still leaves a load time-series behind. *)
 
-val event_to_json : event -> Jsonx.t
-val event_of_json : Jsonx.t -> event  (** @raise Failure on mismatch. *)
+val event_to_json : event -> Aqt_util.Jsonx.t
+val event_of_json : Aqt_util.Jsonx.t -> event  (** @raise Failure on mismatch. *)
 
 (** {2 Writer} *)
 

@@ -1,3 +1,4 @@
+module Jsonx = Aqt_util.Jsonx
 module Tbl = Aqt_util.Tbl
 module Csv_out = Aqt_util.Csv_out
 

@@ -79,5 +79,5 @@ val print_result : ?csv_dir:string -> result -> unit
     given, mirror each table to [csv_dir/<id>.csv] (directory created on
     demand, write failures ignored as in the original bench harness). *)
 
-val result_to_json : result -> Jsonx.t
-val result_of_json : Jsonx.t -> result  (** @raise Failure on mismatch. *)
+val result_to_json : result -> Aqt_util.Jsonx.t
+val result_of_json : Aqt_util.Jsonx.t -> result  (** @raise Failure on mismatch. *)

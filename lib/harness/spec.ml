@@ -1,3 +1,4 @@
+module Jsonx = Aqt_util.Jsonx
 type value =
   | Bool of bool
   | Int of int

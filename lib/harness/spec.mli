@@ -27,6 +27,6 @@ val hash : ?salt:string -> name:string -> t -> string
     the cache key: any change to the name, the salt, or any field value
     produces a different key. *)
 
-val to_json : t -> Jsonx.t
+val to_json : t -> Aqt_util.Jsonx.t
 (** For embedding in cache files / journal events (informational; the
     canonical encoding, not this JSON, is what gets hashed). *)

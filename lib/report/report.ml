@@ -251,6 +251,71 @@ let render_sweep _ =
     ~cols:(List.map Ratio.to_string sweep_rates)
     values
 
+(* The capacity figures read the c1/c2 campaign tables: the drop-rate
+   grid as a heatmap over (cap, s), and the per-discipline tradeoff
+   curves.  Both experiments are deterministic seeded simulations, so
+   the figures are as reproducible as the rest. *)
+let render_capacity_heatmap ctx =
+  let title = "C1 - drop rate by buffer size and link speedup" in
+  match find_table ctx ~experiment:"c1" ~id:"c1_drop_grid" with
+  | None -> Heatmap.render ~title ~rows:[] ~cols:[] [||]
+  | Some t ->
+      let s = column t "s" in
+      let cap = column t "cap" in
+      let dr = column t "drop_rate" in
+      let uniq a = List.sort_uniq compare (Array.to_list a) in
+      let ss = uniq s and caps = uniq cap in
+      let idx l v =
+        let rec go i = function
+          | [] -> 0
+          | x :: tl -> if x = v then i else go (i + 1) tl
+        in
+        go 0 l
+      in
+      let values =
+        Array.make_matrix (List.length ss) (List.length caps) Float.nan
+      in
+      Array.iteri
+        (fun i sv -> values.(idx ss sv).(idx caps cap.(i)) <- dr.(i))
+        s;
+      let annot =
+        Array.map
+          (Array.map (fun v ->
+               if Float.is_nan v then None
+               else if v = 0.0 then Some "0"
+               else Some (Printf.sprintf "%.0f%%" (100. *. v))))
+          values
+      in
+      Heatmap.render ~annot ~x_label:"buffer capacity per edge"
+        ~y_label:"link speedup" ~title
+        ~rows:(List.map (fun v -> Printf.sprintf "s=%.0f" v) ss)
+        ~cols:(List.map (fun v -> Printf.sprintf "%.0f" v) caps)
+        values
+
+let render_capacity_tradeoff ctx =
+  let title = "C2 - drop rate vs buffer budget, by drop discipline" in
+  match find_table ctx ~experiment:"c2" ~id:"c2_policies" with
+  | None -> Plot.render ~title []
+  | Some t ->
+      let disc = column_s t "discipline" in
+      let cap = column t "cap" in
+      let dr = column t "drop_rate" in
+      let groups = ref [] in
+      Array.iteri
+        (fun i d ->
+          let pt = (cap.(i), dr.(i)) in
+          match List.assoc_opt d !groups with
+          | Some pts -> pts := pt :: !pts
+          | None -> groups := (d, ref [ pt ]) :: !groups)
+        disc;
+      let series =
+        List.rev_map
+          (fun (d, pts) -> Plot.series d (Array.of_list (List.rev !pts)))
+          !groups
+      in
+      Plot.render ~x_label:"buffer budget (cap per edge; 8*cap shared)"
+        ~y_label:"drop rate" ~title series
+
 let render_spacetime _ =
   (* The `aqt_sim spacetime` scenario: small enough to read (and to
      commit as SVG), big enough to show the pump moving the queue. *)
@@ -415,6 +480,35 @@ let default_figures () =
          climb steadily as the rate approaches saturation.";
       experiments = [];
       render = render_sweep;
+    };
+    {
+      id = "capacity_heatmap";
+      title = "C1 - drop rate over (buffer size, speedup)";
+      caption =
+        "Campaign experiment `c1`: drop-tail FIFO on the 8-ring at \
+         critical load arriving in 8-deep single-edge bursts, swept over \
+         per-edge buffer capacity and integer link speedup.  Darker \
+         cells shed more traffic (cell label = drop rate).  The \
+         zero-drop frontier moves toward smaller buffers as the speedup \
+         grows — the buffer-vs-speedup tradeoff of arXiv:1902.08069 \
+         measured on this engine.";
+      experiments = [ "c1" ];
+      render = render_capacity_heatmap;
+    };
+    {
+      id = "capacity_tradeoff";
+      title = "C2 - drop disciplines under bursty load";
+      caption =
+        "Campaign experiment `c2`: drop rate against buffer budget for \
+         drop-tail, drop-head and the shared Dynamic-Threshold pool, \
+         under sub-critical (rho = 0.8) single-edge bursts at unit \
+         speed.  The two per-edge disciplines shed identical volume \
+         (service fixes what can leave; they differ in *which* packets \
+         survive), while the shared pool reaches zero drops at a \
+         fraction of the budget by concentrating it where the burst \
+         lands — the shared-buffer advantage of arXiv:1707.03856.";
+      experiments = [ "c2" ];
+      render = render_capacity_tradeoff;
     };
     {
       id = "spacetime";

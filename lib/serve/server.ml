@@ -12,6 +12,8 @@ module Cache = Aqt_harness.Cache
 module Journal = Aqt_harness.Journal
 module Campaign = Aqt_harness.Campaign
 module Report = Aqt_report.Report
+module Capacity = Aqt_capacity.Model
+module Tradeoff = Aqt_capacity.Tradeoff
 
 type config = {
   host : string;
@@ -64,6 +66,9 @@ type handles = {
   queue_depth : Metrics.gauge;
   tokens : Metrics.gauge;
   latency : Metrics.histogram;
+  sim_dropped : Metrics.counter;
+  sim_displaced : Metrics.counter;
+  sim_peak_occupancy : Metrics.gauge;
 }
 
 let make_handles m =
@@ -100,6 +105,15 @@ let make_handles m =
     latency =
       Metrics.histogram m "serve_request_seconds"
         ~help:"Accept-to-response latency of served requests.";
+    sim_dropped =
+      Metrics.counter m "serve_sim_dropped_total"
+        ~help:"Packets dropped by finite-capacity buffers across /simulate runs.";
+    sim_displaced =
+      Metrics.counter m "serve_sim_displaced_total"
+        ~help:"Buffered packets evicted by drop-head arrivals across /simulate runs.";
+    sim_peak_occupancy =
+      Metrics.gauge m "serve_sim_peak_occupancy"
+        ~help:"Peak total buffered packets of the most recent /simulate run.";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -471,7 +485,6 @@ let figure_handler t id =
 (* ------------------------------------------------------------------ *)
 
 let simulate_handler t rng q =
-  ignore t;
   let spec = parse_net (q_str q "network" "ring:8") in
   let d = check_hops (q_int q "d" 4) in
   let horizon = check_horizon (q_int q "horizon" 5_000) in
@@ -483,6 +496,24 @@ let simulate_handler t rng q =
     | "1" | "true" | "yes" -> true
     | "0" | "false" | "no" -> false
     | v -> bad "parameter stochastic: expected a boolean, got %S" v
+  in
+  let speedup = q_int q "speedup" 1 in
+  if speedup < 1 then bad "speedup must be >= 1";
+  let drop =
+    let v = q_str q "drop" "drop-tail" in
+    match Capacity.policy_of_string v with
+    | Some p -> p
+    | None -> bad "parameter drop: expected drop-tail or drop-head, got %S" v
+  in
+  let capacity =
+    match List.assoc_opt "cap" q with
+    | None | Some "" | Some "inf" ->
+        if speedup = 1 then Capacity.unbounded
+        else Capacity.make ~speedup Capacity.Unbounded
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some c when c >= 0 -> Capacity.uniform ~policy:drop ~speedup c
+        | _ -> bad "parameter cap: expected a non-negative integer, got %S" v)
   in
   let seed =
     match List.assoc_opt "seed" q with
@@ -503,8 +534,33 @@ let simulate_handler t rng q =
       Stock.bernoulli ~prng:(Prng.create seed) ~rate:per_route ~routes ()
     else Stock.windowed_burst ~w:40 ~rate:per_route ~routes ~horizon ()
   in
-  let net = Network.create ~graph ~policy () in
+  let net = Network.create ~capacity ~graph ~policy () in
   let outcome = Sim.run ~net ~driver:adv.Stock.driver ~horizon () in
+  let injected = Network.injected_count net in
+  let dropped = Network.dropped net in
+  let edge_drops =
+    List.filter_map
+      (fun e ->
+        match Network.dropped_on_edge net e with
+        | 0 -> None
+        | n -> Some (e, n))
+      (List.init (Aqt_graph.Digraph.n_edges graph) Fun.id)
+  in
+  (* Per-edge drop counters carry the edge id as an inline Prometheus
+     label; simulate networks are small, so the label set stays modest.
+     The aggregate counters accumulate across runs; the occupancy gauge
+     tracks the latest run (its _peak snapshot the all-time high). *)
+  Metrics.inc ~by:dropped t.m.sim_dropped;
+  Metrics.inc ~by:(Network.displaced net) t.m.sim_displaced;
+  Metrics.set_gauge t.m.sim_peak_occupancy
+    (float_of_int (Network.peak_occupancy net));
+  List.iter
+    (fun (e, n) ->
+      Metrics.inc ~by:n
+        (Metrics.counter t.metrics
+           (Printf.sprintf "serve_sim_edge_drops_total{edge=\"%d\"}" e)
+           ~help:"Per-edge drop totals across /simulate runs."))
+    edge_drops;
   json
     (Jsonx.Obj
        [
@@ -513,10 +569,21 @@ let simulate_handler t rng q =
          ("rate", Jsonx.Str (Ratio.to_string rate));
          ("adversary", Jsonx.Str adv.Stock.name);
          ("seed", Jsonx.Int seed);
+         ("capacity", Jsonx.Str (Capacity.describe capacity));
+         ("speedup", Jsonx.Int speedup);
          ("steps", Jsonx.Int outcome.Sim.steps_run);
-         ("injected", Jsonx.Int (Network.injected_count net));
+         ("injected", Jsonx.Int injected);
          ("absorbed", Jsonx.Int (Network.absorbed net));
          ("in_flight", Jsonx.Int (Network.in_flight net));
+         ("dropped", Jsonx.Int dropped);
+         ("displaced", Jsonx.Int (Network.displaced net));
+         ("drop_rate", Jsonx.Float (Tradeoff.drop_rate ~injected ~dropped));
+         ("peak_occupancy", Jsonx.Int (Network.peak_occupancy net));
+         ( "edge_drops",
+           Jsonx.Obj
+             (List.map
+                (fun (e, n) -> (string_of_int e, Jsonx.Int n))
+                edge_drops) );
          ("max_queue", Jsonx.Int (Network.max_queue_ever net));
          ("max_dwell", Jsonx.Int (Network.max_dwell net));
          ("mean_latency", Jsonx.Float (Network.delivered_latency_mean net));
@@ -541,7 +608,8 @@ let index_body t =
     \  POST /sweep                same parameters as a JSON body\n\
     \  GET  /experiment/<name>    cached run of a registered experiment\n\
     \  GET  /figure/<id>          report figure as SVG\n\
-    \  GET  /simulate?network=ring:8&policy=fifo&rate=1/4&horizon=5000[&seed=N]\n";
+    \  GET  /simulate?network=ring:8&policy=fifo&rate=1/4&horizon=5000\n\
+    \       [&seed=N][&cap=K&drop=drop-tail|drop-head&speedup=S]\n";
   Buffer.contents b
 
 let strip_prefix ~prefix s =

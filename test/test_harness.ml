@@ -1,7 +1,7 @@
 (* Campaign harness: JSON round-trips, spec hashing, the content-addressed
    cache, the crash-tolerant scheduler, and the JSONL journal. *)
 
-module Jsonx = Aqt_harness.Jsonx
+module Jsonx = Aqt_util.Jsonx
 module Spec = Aqt_harness.Spec
 module Registry = Aqt_harness.Registry
 module Rb = Aqt_harness.Registry.Rb
