@@ -16,6 +16,7 @@ module Tbl = Aqt_util.Tbl
 module D = Aqt_graph.Digraph
 module Build = Aqt_graph.Build
 module Network = Aqt_engine.Network
+module Soa = Aqt_engine.Soa
 module Sim = Aqt_engine.Sim
 module Recorder = Aqt_engine.Recorder
 module Phased = Aqt_adversary.Phased
@@ -1454,7 +1455,7 @@ let bechamel_suite rb =
         gadget_bench;
       ]
   in
-  let benchmark () =
+  let measure tests =
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
     in
@@ -1469,7 +1470,59 @@ let bechamel_suite rb =
     in
     Analyze.merge ols instances results
   in
-  let results = benchmark () in
+  (* SoA gate rows: the struct-of-arrays backend stepping a 10^6-edge
+     ring at ~0.1 load (1000 fresh 100-hop routes per step, ~1e5 packets
+     in flight at steady state), plus the classic engine on the identical
+     workload as the in-table "before" row.  Build and warmup-to-steady-
+     state happen once, outside the staged thunk, so a run measures
+     exactly one steady-state step.  These instances hold tens of
+     millions of heap words, which would inflate every allocating classic
+     row through major-GC pacing if they stayed live — so they are
+     measured first, in their own group, and torn down (followed by a
+     compaction) before the classic suite runs. *)
+  let big_results =
+    let ring1e6 = Build.ring 1_000_000 in
+    let ring1e6_injs =
+      Array.to_list
+        (Array.init 1000 (fun i ->
+             {
+               Network.route =
+                 Array.init 100 (fun j ->
+                     ring1e6.edges.(((i * 1000) + j) mod 1_000_000));
+               tag = "b";
+             }))
+    in
+    let soa1 =
+      Soa.create ~domains:1 ~graph:ring1e6.graph ~policy:Policies.fifo ()
+    and soa4 =
+      Soa.create ~domains:4 ~graph:ring1e6.graph ~policy:Policies.fifo ()
+    and net =
+      Network.create ~recycle:true ~graph:ring1e6.graph
+        ~policy:Policies.fifo ()
+    in
+    for _ = 1 to 110 do
+      Soa.step soa1 ring1e6_injs;
+      Soa.step soa4 ring1e6_injs;
+      Network.step net ring1e6_injs
+    done;
+    let results =
+      measure
+        (Test.make_grouped ~name:"aqt"
+           [
+             Test.make ~name:"fastpath.net_step ring1e6"
+               (Staged.stage (fun () -> Network.step net ring1e6_injs));
+             Test.make ~name:"fastpath.soa_step ring1e6"
+               (Staged.stage (fun () -> Soa.step soa1 ring1e6_injs));
+             Test.make ~name:"fastpath.soa_step ring1e6 d4"
+               (Staged.stage (fun () -> Soa.step soa4 ring1e6_injs));
+           ])
+    in
+    Soa.shutdown soa1;
+    Soa.shutdown soa4;
+    results
+  in
+  Gc.compact ();
+  let results = measure tests in
   (* Pre-fast-path numbers (the seed engine, same machine that regenerated
      the committed CSV).  They contextualise the committed "after" column;
      the CI regression gate reads only the live ns/run column.  "-" marks
@@ -1487,21 +1540,26 @@ let bechamel_suite rb =
     ]
   in
   let rows = ref [] in
-  Hashtbl.iter
-    (fun _measure tbl ->
+  List.iter
+    (fun results ->
       Hashtbl.iter
-        (fun name ols ->
-          let estimate =
-            match Analyze.OLS.estimates ols with
-            | Some [ x ] -> Printf.sprintf "%.0f" x
-            | _ -> "-"
-          in
-          let seed =
-            match List.assoc_opt name seed_ns with Some s -> s | None -> "-"
-          in
-          rows := [ name; estimate; seed ] :: !rows)
-        tbl)
-    results;
+        (fun _measure tbl ->
+          Hashtbl.iter
+            (fun name ols ->
+              let estimate =
+                match Analyze.OLS.estimates ols with
+                | Some [ x ] -> Printf.sprintf "%.0f" x
+                | _ -> "-"
+              in
+              let seed =
+                match List.assoc_opt name seed_ns with
+                | Some s -> s
+                | None -> "-"
+              in
+              rows := [ name; estimate; seed ] :: !rows)
+            tbl)
+        results)
+    [ results; big_results ];
   Rb.table rb ~id:"b_microbench"
     ~headers:[ "benchmark"; "ns/run"; "seed ns/run" ]
     (List.sort compare !rows)

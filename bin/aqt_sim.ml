@@ -1109,17 +1109,28 @@ let check_cmd =
             false)
       mutants
   in
-  let run seeds base seed faults mutant_demo quiet =
+  let run seeds base seed backend domains faults mutant_demo quiet =
     let ok = ref true in
+    (* [--backend soa] adds struct-of-arrays arms (one per domain count in
+       [--domains]) to the lockstep comparison alongside the record
+       engine. *)
+    let soa_domains =
+      match backend with
+      | "record" -> None
+      | "soa" -> Some (if domains = [] then [ 1 ] else domains)
+      | other ->
+          Printf.eprintf "unknown backend %S (record|soa)\n" other;
+          exit 2
+    in
     (match seed with
     | Some k -> (
         let scenario = Gen.generate k in
         Format.printf "%a@." Gen.pp scenario;
-        match Diff.run scenario with
+        match Diff.run ?soa_domains scenario with
         | None -> Format.printf "seed %d: conforms@." k
         | Some original ->
             let shrunk, failure =
-              Shrink.minimize ~run:Diff.run scenario original
+              Shrink.minimize ~run:(Diff.run ?soa_domains) scenario original
             in
             Format.printf "seed %d: %a@.shrunk (%a):@.%a@." k Diff.pp_failure
               original Diff.pp_failure failure Gen.pp shrunk;
@@ -1134,7 +1145,9 @@ let check_cmd =
                   if done_ mod 50 = 0 then
                     Printf.printf "  ... %d/%d seeds\n%!" done_ seeds)
           in
-          let summary = Check.run_seeds ?progress ~base ~n:seeds () in
+          let summary =
+            Check.run_seeds ?soa_domains ?progress ~base ~n:seeds ()
+          in
           Format.printf "%a" Check.pp_summary summary;
           if summary.Check.failures <> [] then ok := false
         end);
@@ -1162,6 +1175,24 @@ let check_cmd =
             "Replay a single seed verbosely (prints the scenario, then the \
              verdict; shrinks on failure).  Overrides $(b,--seeds).")
   in
+  let backend =
+    Arg.(
+      value & opt string "record"
+      & info [ "backend" ] ~docv:"ENGINE"
+          ~doc:
+            "$(b,record) (default) checks the record engine only; $(b,soa) \
+             additionally runs the struct-of-arrays engine in lockstep, one \
+             arm per domain count in $(b,--domains).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "domains" ] ~docv:"N,..."
+          ~doc:
+            "Domain counts for the SoA arms (default 1).  Only meaningful \
+             with $(b,--backend soa).")
+  in
   let faults =
     Arg.(
       value & flag
@@ -1188,7 +1219,112 @@ let check_cmd =
           invariants, and shrink any divergence to a minimal reproducer \
           replayable by seed.  $(b,--faults) adds the campaign-harness \
           fault-injection self-test.")
-    Term.(const run $ seeds $ base $ seed $ faults $ mutant_demo $ quiet)
+    Term.(
+      const run $ seeds $ base $ seed $ backend $ domains $ faults
+      $ mutant_demo $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* soa-scale: step-cost scaling of the struct-of-arrays backend         *)
+(* ------------------------------------------------------------------ *)
+
+let soa_scale_cmd =
+  let run edges domains steps out =
+    (* The b_microbench soa_step workload at every size: ~0.1 load from
+       100-hop routes injected at evenly spaced starts, measured after a
+       warmup that reaches steady state (route length + slack). *)
+    let hops = 100 in
+    let cell k ndom =
+      let ring = Build.ring k in
+      let nroutes = max 1 (k / (10 * hops)) in
+      let injs =
+        List.init nroutes (fun i ->
+            {
+              Network.route =
+                Array.init hops (fun j ->
+                    ring.Build.edges.(((i * (k / nroutes)) + j) mod k));
+              tag = "";
+            })
+      in
+      let soa =
+        Aqt_engine.Soa.create ~domains:ndom ~graph:ring.Build.graph
+          ~policy:Policies.fifo ()
+      in
+      for _ = 1 to hops + 10 do
+        Aqt_engine.Soa.step soa injs
+      done;
+      let in_flight = Aqt_engine.Soa.in_flight soa in
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to steps do
+          Aqt_engine.Soa.step soa injs
+        done;
+        let dt = (Unix.gettimeofday () -. t0) /. float_of_int steps in
+        if dt < !best then best := dt
+      done;
+      Aqt_engine.Soa.shutdown soa;
+      [
+        string_of_int k;
+        string_of_int ndom;
+        string_of_int in_flight;
+        Printf.sprintf "%.3f" (!best *. 1e3);
+        Printf.sprintf "%.2f" (!best /. float_of_int k *. 1e9);
+        Printf.sprintf "%.1f" (!best /. float_of_int in_flight *. 1e9);
+      ]
+    in
+    let headers =
+      [
+        "edges"; "domains"; "in_flight"; "ms_per_step"; "ns_per_edge_step";
+        "ns_per_forward";
+      ]
+    in
+    let rows =
+      List.concat_map (fun k -> List.map (cell k) domains) edges
+    in
+    let tbl = Tbl.create ~headers in
+    Tbl.add_rows tbl rows;
+    Tbl.print tbl;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (String.concat "," headers ^ "\n");
+        List.iter (fun r -> output_string oc (String.concat "," r ^ "\n")) rows;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  let edges =
+    Arg.(
+      value
+      & opt (list int) [ 10_000; 100_000; 1_000_000 ]
+      & info [ "edges" ] ~docv:"K,..." ~doc:"Ring sizes to measure.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "domains" ] ~docv:"N,..." ~doc:"Domain counts to measure.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 5
+      & info [ "steps" ] ~docv:"N"
+          ~doc:"Steps per timed batch (best of 3 batches is reported).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "soa-scale"
+       ~doc:
+         "Measure struct-of-arrays engine step cost across ring sizes and \
+          domain counts on the microbenchmark workload (100-hop routes at \
+          ~0.1 load), reporting ns per edge-step and ns per forwarded \
+          packet.")
+    Term.(const run $ edges $ domains $ steps $ out)
 
 let () =
   let doc = "adversarial queuing theory simulator (Lotker-Patt-Shamir-Rosen)" in
@@ -1200,5 +1336,5 @@ let () =
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
             spacetime_cmd; campaign_cmd; report_cmd; bench_gate_cmd; check_cmd;
-            serve_cmd;
+            soa_scale_cmd; serve_cmd;
           ]))

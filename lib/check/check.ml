@@ -7,18 +7,20 @@ type failure_report = {
 
 type summary = { seeds_run : int; failures : failure_report list }
 
-let run_seed ?mutant seed = Diff.run ?mutant (Gen.generate seed)
+let run_seed ?mutant ?soa_domains seed =
+  Diff.run ?mutant ?soa_domains (Gen.generate seed)
 
-let run_seeds ?mutant ?(base = 0) ?progress ~n () =
+let run_seeds ?mutant ?soa_domains ?(base = 0) ?progress ~n () =
   let failures = ref [] in
   for i = 0 to n - 1 do
     let seed = base + i in
-    (match run_seed ?mutant seed with
+    (match run_seed ?mutant ?soa_domains seed with
     | None -> ()
     | Some original ->
         let scenario, failure =
-          Shrink.minimize ~run:(Diff.run ?mutant) (Gen.generate seed)
-            original
+          Shrink.minimize
+            ~run:(Diff.run ?mutant ?soa_domains)
+            (Gen.generate seed) original
         in
         failures := { seed; original; scenario; failure } :: !failures);
     match progress with Some f -> f (i + 1) | None -> ()

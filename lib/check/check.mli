@@ -18,11 +18,14 @@ type summary = {
   failures : failure_report list;  (** Empty = the engine conforms. *)
 }
 
-val run_seed : ?mutant:Diff.mutant -> int -> Diff.failure option
-(** Generate and differentially run one seed (no shrinking). *)
+val run_seed :
+  ?mutant:Diff.mutant -> ?soa_domains:int list -> int -> Diff.failure option
+(** Generate and differentially run one seed (no shrinking).
+    [soa_domains] adds struct-of-arrays arms as in {!Diff.run}. *)
 
 val run_seeds :
   ?mutant:Diff.mutant ->
+  ?soa_domains:int list ->
   ?base:int ->
   ?progress:(int -> unit) ->
   n:int ->

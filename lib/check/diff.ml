@@ -1,5 +1,6 @@
 module P = Aqt_engine.Packet
 module Network = Aqt_engine.Network
+module Soa = Aqt_engine.Soa
 module Trace = Aqt_engine.Trace
 module Digraph = Aqt_graph.Digraph
 module Rate_check = Aqt_adversary.Rate_check
@@ -33,6 +34,18 @@ let print_of_packet (p : P.t) =
 let packet_fp (p : P.t) =
   (p.P.id, p.P.injected_at, p.P.hop, p.P.buffered_at, Array.to_list p.P.route)
 
+let print_of_view (v : Soa.view) =
+  Printf.sprintf "#%d inj@%d hop=%d buf@%d route=[%s]" v.Soa.v_id
+    v.Soa.v_injected_at v.Soa.v_hop v.Soa.v_buffered_at
+    (String.concat ";" (List.map string_of_int (Array.to_list v.Soa.v_route)))
+
+let view_fp (v : Soa.view) =
+  ( v.Soa.v_id,
+    v.Soa.v_injected_at,
+    v.Soa.v_hop,
+    v.Soa.v_buffered_at,
+    Array.to_list v.Soa.v_route )
+
 let compare_buffers ~arm ~step refm net =
   let m = Digraph.n_edges (Network.graph net) in
   for e = 0 to m - 1 do
@@ -57,6 +70,33 @@ let compare_buffers ~arm ~step refm net =
     fail "divergence" ~step
       (Printf.sprintf "%s arm: dropped %d, reference %d" arm
          (Network.dropped net) (Ref_model.dropped refm))
+
+(* The SoA arms expose buffered packets as copied-out views rather than
+   [Packet.t] handles; the comparison is the same fingerprint. *)
+let compare_soa_buffers ~arm ~step refm soa =
+  let m = Digraph.n_edges (Soa.graph soa) in
+  for e = 0 to m - 1 do
+    let want = Ref_model.buffer_packets refm e in
+    let got = Soa.buffer_packets soa e in
+    if List.map packet_fp want <> List.map view_fp got then
+      fail "divergence" ~step
+        (Printf.sprintf "%s arm, edge %d:\n  reference: %s\n  engine:    %s"
+           arm e
+           (String.concat " | " (List.map print_of_packet want))
+           (String.concat " | " (List.map print_of_view got)))
+  done;
+  if Soa.in_flight soa <> Ref_model.in_flight refm then
+    fail "divergence" ~step
+      (Printf.sprintf "%s arm: in_flight %d, reference %d" arm
+         (Soa.in_flight soa) (Ref_model.in_flight refm));
+  if Soa.absorbed soa <> Ref_model.absorbed refm then
+    fail "divergence" ~step
+      (Printf.sprintf "%s arm: absorbed %d, reference %d" arm
+         (Soa.absorbed soa) (Ref_model.absorbed refm));
+  if Soa.dropped soa <> Ref_model.dropped refm then
+    fail "divergence" ~step
+      (Printf.sprintf "%s arm: dropped %d, reference %d" arm
+         (Soa.dropped soa) (Ref_model.dropped refm))
 
 (* Capacity-never-exceeded: after every step, each buffer respects its
    static cap and a shared pool respects its total.  Checked against the
@@ -135,6 +175,70 @@ let compare_stats ~arm refm net =
       (Network.dropped_on_edge net e)
   done
 
+let check_soa_capacity ~arm ~step (capacity : Capacity.t) soa =
+  if not (Capacity.is_unbounded capacity) then begin
+    let m = Digraph.n_edges (Soa.graph soa) in
+    let caps = Capacity.caps capacity ~m in
+    for e = 0 to m - 1 do
+      if Soa.buffer_len soa e > caps.(e) then
+        fail "capacity-exceeded" ~step
+          (Printf.sprintf "%s arm: edge %d holds %d packets, cap %d" arm e
+             (Soa.buffer_len soa e) caps.(e))
+    done;
+    let total = Capacity.shared_total capacity in
+    if total <> max_int && Soa.occupancy soa > total then
+      fail "capacity-exceeded" ~step
+        (Printf.sprintf "%s arm: %d packets buffered, shared total %d" arm
+           (Soa.occupancy soa) total)
+  end
+
+let compare_soa_stats ~arm refm soa =
+  let m = Digraph.n_edges (Soa.graph soa) in
+  check_stat ~arm "injected" (Ref_model.injected_count refm)
+    (Soa.injected_count soa);
+  check_stat ~arm "initials" (Ref_model.initial_count refm)
+    (Soa.initial_count soa);
+  check_stat ~arm "max_queue" (Ref_model.max_queue_ever refm)
+    (Soa.max_queue_ever soa);
+  check_stat ~arm "max_dwell" (Ref_model.max_dwell refm) (Soa.max_dwell soa);
+  check_stat ~arm "max_pending_dwell"
+    (Ref_model.max_pending_dwell refm)
+    (Soa.max_pending_dwell soa);
+  check_stat ~arm "latency_max"
+    (Ref_model.delivered_latency_max refm)
+    (Soa.delivered_latency_max soa);
+  check_stat ~arm "reroutes" (Ref_model.reroute_count refm)
+    (Soa.reroute_count soa);
+  check_stat ~arm "dropped" (Ref_model.dropped refm) (Soa.dropped soa);
+  check_stat ~arm "displaced" (Ref_model.displaced refm) (Soa.displaced soa);
+  check_stat ~arm "peak_occupancy"
+    (Ref_model.peak_occupancy refm)
+    (Soa.peak_occupancy soa);
+  if Ref_model.delivered_latency_mean refm <> Soa.delivered_latency_mean soa
+  then
+    fail "stat-divergence"
+      (Printf.sprintf "%s arm: latency_mean %g, reference %g" arm
+         (Soa.delivered_latency_mean soa)
+         (Ref_model.delivered_latency_mean refm));
+  for e = 0 to m - 1 do
+    check_stat ~arm
+      (Printf.sprintf "max_queue_of_edge %d" e)
+      (Ref_model.max_queue_of_edge refm e)
+      (Soa.max_queue_of_edge soa e);
+    check_stat ~arm
+      (Printf.sprintf "sent_on_edge %d" e)
+      (Ref_model.sent_on_edge refm e)
+      (Soa.sent_on_edge soa e);
+    check_stat ~arm
+      (Printf.sprintf "last_injection_on %d" e)
+      (Ref_model.last_injection_on refm e)
+      (Soa.last_injection_on soa e);
+    check_stat ~arm
+      (Printf.sprintf "dropped_on_edge %d" e)
+      (Ref_model.dropped_on_edge refm e)
+      (Soa.dropped_on_edge soa e)
+  done
+
 let compare_logs ~arm refm net =
   let want = Ref_model.injection_log refm in
   let got = Network.injection_log net in
@@ -153,6 +257,36 @@ let compare_logs ~arm refm net =
              wt
              (String.concat ";" (List.map string_of_int (Array.to_list wr)))))
     want
+
+let compare_soa_logs ~arm refm soa =
+  let want = Ref_model.injection_log refm in
+  let got = Soa.injection_log soa in
+  if Array.length want <> Array.length got then
+    fail "injection-log"
+      (Printf.sprintf "%s arm: %d entries, reference %d" arm
+         (Array.length got) (Array.length want));
+  Array.iteri
+    (fun i (wt, wr) ->
+      let gt, gr = got.(i) in
+      if wt <> gt || Array.to_list wr <> Array.to_list gr then
+        fail "injection-log"
+          (Printf.sprintf
+             "%s arm: entry %d is (t=%d, [%s]), reference (t=%d, [%s])" arm i
+             gt
+             (String.concat ";" (List.map string_of_int (Array.to_list gr)))
+             wt
+             (String.concat ";" (List.map string_of_int (Array.to_list wr)))))
+    want
+
+let check_soa_conservation ~arm soa =
+  let made = Soa.initial_count soa + Soa.injected_count soa in
+  let accounted = Soa.absorbed soa + Soa.in_flight soa + Soa.dropped soa in
+  if made <> accounted then
+    fail "conservation"
+      (Printf.sprintf
+         "%s arm: %d packets created but %d accounted for \
+          (absorbed + in flight + dropped)"
+         arm made accounted)
 
 (* The deterministic reroute pass (same rule as the fast-path tests):
    before each step, every buffered packet with [id mod 5 = 2] and more
@@ -175,6 +309,11 @@ let reroute_net net =
     (fun p -> if should_truncate p then victims := p :: !victims)
     net;
   List.iter (fun p -> Network.reroute net p [||]) !victims
+
+let reroute_soa soa =
+  Soa.reroute_where soa
+    (fun ~id ~remaining -> id mod 5 = 2 && remaining > 1)
+    [||]
 
 (* Trace-level invariants: at most [speedup] forwards per (step, edge), and
    each step's forwarded-edge multiset equals the reference model's — the
@@ -257,7 +396,7 @@ let check_obligation scenario net = function
                v.Stability.bound v.Stability.max_dwell_seen
                v.Stability.max_pending))
 
-let run ?mutant (scenario : Gen.scenario) =
+let run ?mutant ?(soa_domains = []) (scenario : Gen.scenario) =
   let engine_tie =
     match mutant with
     | Some Flip_tie_order -> (
@@ -289,12 +428,27 @@ let run ?mutant (scenario : Gen.scenario) =
       ~tracer:(Trace.handler tr) ~capacity:engine_capacity
       ~graph:scenario.graph ~policy:scenario.policy ()
   in
+  (* One SoA arm per requested domain count — the struct-of-arrays engine,
+     sequential and partition-parallel, must all match the oracle
+     buffer-for-buffer each step. *)
+  let soa_arms =
+    List.map
+      (fun d ->
+        ( Printf.sprintf "soa-d%d" d,
+          Soa.create ~log_injections:true ~tie_order:engine_tie
+            ~capacity:engine_capacity ~domains:d ~graph:scenario.graph
+            ~policy:scenario.policy () ))
+      soa_domains
+  in
+  let finally () = List.iter (fun (_, s) -> Soa.shutdown s) soa_arms in
+  Fun.protect ~finally @@ fun () ->
   try
     List.iter
       (fun route ->
         ignore (Ref_model.place_initial refm route);
         ignore (Network.place_initial fast route);
-        ignore (Network.place_initial traced route))
+        ignore (Network.place_initial traced route);
+        List.iter (fun (_, s) -> ignore (Soa.place_initial s route)) soa_arms)
       scenario.initial;
     let horizon = Gen.horizon scenario in
     let ref_forwards = Array.make horizon [] in
@@ -304,7 +458,8 @@ let run ?mutant (scenario : Gen.scenario) =
       if scenario.reroutes then reroute_ref refm;
       if engine_reroutes then begin
         reroute_net fast;
-        reroute_net traced
+        reroute_net traced;
+        List.iter (fun (_, s) -> reroute_soa s) soa_arms
       end;
       let injs = scenario.schedule.(i) in
       let engine_injs =
@@ -322,10 +477,17 @@ let run ?mutant (scenario : Gen.scenario) =
       ref_forwards.(i) <- List.map fst forwards;
       Network.step fast engine_injs;
       Network.step traced engine_injs;
+      List.iter (fun (_, s) -> Soa.step s engine_injs) soa_arms;
       compare_buffers ~arm:"fast" ~step refm fast;
       compare_buffers ~arm:"traced" ~step refm traced;
+      List.iter
+        (fun (arm, s) -> compare_soa_buffers ~arm ~step refm s)
+        soa_arms;
       check_capacity ~arm:"fast" ~step scenario.capacity fast;
-      check_capacity ~arm:"traced" ~step scenario.capacity traced
+      check_capacity ~arm:"traced" ~step scenario.capacity traced;
+      List.iter
+        (fun (arm, s) -> check_soa_capacity ~arm ~step scenario.capacity s)
+        soa_arms
     done;
     compare_stats ~arm:"fast" refm fast;
     compare_stats ~arm:"traced" refm traced;
@@ -333,6 +495,12 @@ let run ?mutant (scenario : Gen.scenario) =
     compare_logs ~arm:"traced" refm traced;
     check_conservation ~arm:"fast" fast;
     check_conservation ~arm:"traced" traced;
+    List.iter
+      (fun (arm, s) ->
+        compare_soa_stats ~arm refm s;
+        compare_soa_logs ~arm refm s;
+        check_soa_conservation ~arm s)
+      soa_arms;
     check_trace_invariants
       ~speedup:(Capacity.speedup scenario.capacity)
       tr ref_forwards;

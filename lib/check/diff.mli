@@ -56,6 +56,14 @@ type failure = {
 
 val pp_failure : Format.formatter -> failure -> unit
 
-val run : ?mutant:mutant -> Gen.scenario -> failure option
+val run :
+  ?mutant:mutant -> ?soa_domains:int list -> Gen.scenario -> failure option
 (** [None] = the engine conforms on this scenario and every obligation
-    holds.  Deterministic: same scenario, same answer. *)
+    holds.  Deterministic: same scenario, same answer.
+
+    [soa_domains] adds one {!Aqt_engine.Soa} arm per listed domain count
+    (e.g. [[1; 2; 4]]) to the lockstep comparison: buffers each step,
+    stats, logs and conservation at the end — the byte-identical-trajectory
+    guarantee of the struct-of-arrays backend, sequential and parallel.
+    Worker domains are shut down on every exit path.  Default: no SoA
+    arms. *)

@@ -14,6 +14,12 @@ type sample = {
   gc_major_words : float;
   gc_minor_collections : int;
   gc_major_collections : int;
+  (* How many domains the gc_* fields cover.  OCaml 5 GC counters are
+     per-domain: a sample taken on the main domain of a parallel-backend
+     run silently misses worker allocation unless the backend adds it in
+     (via [observe_raw ~extra_minor_words]), and consumers diffing samples
+     across a domain-count change must not mix them. *)
+  gc_domains : int;
 }
 
 type t = { every : int; store : sample Dyn.t }
@@ -22,26 +28,37 @@ let make ?(every = 1) () =
   if every < 1 then invalid_arg "Recorder.make";
   { every; store = Dyn.create () }
 
-let observe r net =
-  let now = Network.now net in
+(* Backend-agnostic sampling: the caller supplies the network-state metrics
+   and declares how many domains its allocation figure covers.
+   [extra_minor_words] is the cumulative allocation of any worker domains,
+   added to this domain's own counter. *)
+let observe_raw r ~now ~in_flight ~cur_max_queue ~absorbed ~dropped
+    ~max_dwell ~gc_domains ~extra_minor_words =
   if now mod r.every = 0 then begin
     let gc = Gc.quick_stat () in
     Dyn.push r.store
       {
         t = now;
-        in_flight = Network.in_flight net;
-        cur_max_queue = Network.current_max_queue net;
-        absorbed = Network.absorbed net;
-        dropped = Network.dropped net;
-        max_dwell = Network.max_dwell net;
+        in_flight;
+        cur_max_queue;
+        absorbed;
+        dropped;
+        max_dwell;
         (* quick_stat's minor_words only refreshes at GC events (OCaml 5);
            Gc.minor_words reads the allocation pointer and is exact. *)
-        gc_minor_words = Gc.minor_words ();
+        gc_minor_words = Gc.minor_words () +. extra_minor_words;
         gc_major_words = gc.Gc.major_words;
         gc_minor_collections = gc.Gc.minor_collections;
         gc_major_collections = gc.Gc.major_collections;
+        gc_domains;
       }
   end
+
+let observe r net =
+  observe_raw r ~now:(Network.now net) ~in_flight:(Network.in_flight net)
+    ~cur_max_queue:(Network.current_max_queue net)
+    ~absorbed:(Network.absorbed net) ~dropped:(Network.dropped net)
+    ~max_dwell:(Network.max_dwell net) ~gc_domains:1 ~extra_minor_words:0.0
 
 let samples r = Dyn.to_array r.store
 let length r = Dyn.length r.store
@@ -59,6 +76,7 @@ let to_rows r =
            ("max_dwell", float_of_int s.max_dwell);
            ("gc_minor_words", s.gc_minor_words);
            ("gc_major_words", s.gc_major_words);
+           ("gc_domains", float_of_int s.gc_domains);
          ])
        (samples r))
 

@@ -47,25 +47,86 @@ let parallel_paths ~branches ~hops =
   let paths = Array.init branches branch in
   { graph = g; source; sink; paths }
 
-type grid = { graph : D.t; node_at : int -> int -> int }
+type grid = {
+  graph : D.t;
+  rows : int;
+  cols : int;
+  node_at : int -> int -> int;
+  right_of : int -> int -> int;
+  down_of : int -> int -> int;
+}
 
+(* Million-edge grids must build in O(E) with no per-element allocation:
+   nodes are anonymous (default names materialise on read, the PR 2 Digraph
+   fix) and the handles are arithmetic, not arrays of ids.  Nodes are added
+   in row-major order; edges in row-major cell order, right before down, so
+   each handle is a closed-form index. *)
 let grid ~rows ~cols =
   if rows < 1 || cols < 1 then invalid_arg "Build.grid";
   let g = D.create () in
-  let ids =
-    Array.init rows (fun r ->
-        Array.init cols (fun c ->
-            D.add_node ~name:(Printf.sprintf "g%d_%d" r c) g))
-  in
+  ignore (D.add_nodes g (rows * cols));
+  let node_at r c = (r * cols) + c in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
       if c + 1 < cols then
-        ignore (D.add_edge g ~src:ids.(r).(c) ~dst:ids.(r).(c + 1));
+        ignore (D.add_edge g ~src:(node_at r c) ~dst:(node_at r (c + 1)));
       if r + 1 < rows then
-        ignore (D.add_edge g ~src:ids.(r).(c) ~dst:ids.(r + 1).(c))
+        ignore (D.add_edge g ~src:(node_at r c) ~dst:(node_at (r + 1) c))
     done
   done;
-  { graph = g; node_at = (fun r c -> ids.(r).(c)) }
+  (* A non-last row holds [cols - 1] rights + [cols] downs = [2*cols - 1]
+     edges; the last row only the rights.  Within a non-last row, cell [c]
+     is preceded by [2c] of them. *)
+  let right_of r c =
+    if r < 0 || r >= rows || c < 0 || c + 1 >= cols then
+      invalid_arg "Build.grid: no right edge there";
+    if r < rows - 1 then (r * ((2 * cols) - 1)) + (2 * c)
+    else (r * ((2 * cols) - 1)) + c
+  in
+  let down_of r c =
+    if r < 0 || r + 1 >= rows || c < 0 || c >= cols then
+      invalid_arg "Build.grid: no down edge there";
+    (r * ((2 * cols) - 1)) + (2 * c) + if c + 1 < cols then 1 else 0
+  in
+  { graph = g; rows; cols; node_at; right_of; down_of }
+
+type torus = {
+  graph : D.t;
+  rows : int;
+  cols : int;
+  node_at : int -> int -> int;
+  right_of : int -> int -> int;
+  down_of : int -> int -> int;
+}
+
+(* Directed torus: the grid with wraparound, so every node has exactly one
+   right and one down edge — [2 * rows * cols] edges, uniform degree, the
+   natural 2-D scaling of the ring workloads. *)
+let torus ~rows ~cols =
+  if rows < 2 || cols < 2 then invalid_arg "Build.torus";
+  let g = D.create () in
+  ignore (D.add_nodes g (rows * cols));
+  let node_at r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      ignore
+        (D.add_edge g ~src:(node_at r c) ~dst:(node_at r ((c + 1) mod cols)));
+      ignore
+        (D.add_edge g ~src:(node_at r c) ~dst:(node_at ((r + 1) mod rows) c))
+    done
+  done;
+  let check r c =
+    if r < 0 || r >= rows || c < 0 || c >= cols then
+      invalid_arg "Build.torus: cell out of range"
+  in
+  let right_of r c =
+    check r c;
+    2 * ((r * cols) + c)
+  and down_of r c =
+    check r c;
+    (2 * ((r * cols) + c)) + 1
+  in
+  { graph = g; rows; cols; node_at; right_of; down_of }
 
 type tree = { graph : D.t; root : int; leaves : int array }
 
@@ -103,5 +164,26 @@ let random_dag ~prng ~nodes ~edge_prob_num ~edge_prob_den =
       if Aqt_util.Prng.bernoulli prng ~num:edge_prob_num ~den:edge_prob_den
       then ignore (D.add_edge g ~src:ids.(i) ~dst:ids.(j))
     done
+  done;
+  g
+
+(* The G(n, m) counterpart of [random_dag]: [edges] forward pairs drawn
+   uniformly, O(E) regardless of n — [random_dag]'s Bernoulli sweep is
+   O(n^2), hopeless at the million-edge scale.  Parallel edges may repeat a
+   pair (the model allows multigraphs); self-pairs are redrawn. *)
+let random_dag_edges ~prng ~nodes ~edges =
+  if nodes < 2 then invalid_arg "Build.random_dag_edges: need >= 2 nodes";
+  if edges < 0 then invalid_arg "Build.random_dag_edges: negative edge count";
+  let g = D.create () in
+  ignore (D.add_nodes g nodes);
+  for _ = 1 to edges do
+    let u = ref (Aqt_util.Prng.int prng nodes)
+    and v = ref (Aqt_util.Prng.int prng nodes) in
+    while !u = !v do
+      u := Aqt_util.Prng.int prng nodes;
+      v := Aqt_util.Prng.int prng nodes
+    done;
+    let src = min !u !v and dst = max !u !v in
+    ignore (D.add_edge g ~src ~dst)
   done;
   g

@@ -29,10 +29,35 @@ val parallel_paths : branches:int -> hops:int -> parallel
     the endpoints.  Requires [branches >= 1] and [hops >= 1]; with [hops = 1]
     this is a multigraph of parallel edges. *)
 
-type grid = { graph : Digraph.t; node_at : int -> int -> int }
+type grid = {
+  graph : Digraph.t;
+  rows : int;
+  cols : int;
+  node_at : int -> int -> int;
+  right_of : int -> int -> int;
+      (** Edge id of [(r,c) -> (r,c+1)]; requires [c + 1 < cols]. *)
+  down_of : int -> int -> int;
+      (** Edge id of [(r,c) -> (r+1,c)]; requires [r + 1 < rows]. *)
+}
 
 val grid : rows:int -> cols:int -> grid
-(** Directed grid: edges go right and down.  [node_at r c] addresses nodes. *)
+(** Directed grid: edges go right and down.  O(E) construction with
+    arithmetic (not tabulated) node and edge handles, so million-edge grids
+    build without per-element allocation. *)
+
+type torus = {
+  graph : Digraph.t;
+  rows : int;
+  cols : int;
+  node_at : int -> int -> int;
+  right_of : int -> int -> int;  (** Edge id of [(r,c) -> (r,(c+1) mod cols)]. *)
+  down_of : int -> int -> int;  (** Edge id of [(r,c) -> ((r+1) mod rows,c)]. *)
+}
+
+val torus : rows:int -> cols:int -> torus
+(** Directed torus ([rows, cols >= 2]): the grid with wraparound, every node
+    having exactly one right and one down edge — [2 * rows * cols] edges.
+    Same O(E) construction discipline as {!grid}. *)
 
 type tree = { graph : Digraph.t; root : int; leaves : int array }
 
@@ -44,4 +69,11 @@ val random_dag :
   prng:Aqt_util.Prng.t -> nodes:int -> edge_prob_num:int -> edge_prob_den:int ->
   Digraph.t
 (** Random DAG on [nodes] nodes: each forward pair (i,j), i<j, gets an edge
-    with probability [edge_prob_num/edge_prob_den]. *)
+    with probability [edge_prob_num/edge_prob_den].  O(n²) — use
+    {!random_dag_edges} at scale. *)
+
+val random_dag_edges :
+  prng:Aqt_util.Prng.t -> nodes:int -> edges:int -> Digraph.t
+(** Seeded G(n, m) DAG: exactly [edges] edges, each a uniform forward pair
+    (oriented low id -> high id; parallel edges possible).  O(E), so a
+    10⁶-edge DAG builds in well under a second. *)

@@ -29,6 +29,22 @@ let record t v =
 let count t = t.total
 let max_value t = t.max_value
 
+(* Bucket-wise accumulation: used by the parallel engine backend to fold
+   per-domain histograms into one at a step barrier.  Log-bucket counts are
+   additive, so the merged histogram is exactly the one a sequential run
+   would have built record by record. *)
+let merge_into ~into src =
+  Array.iteri
+    (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
+    src.counts;
+  into.total <- into.total + src.total;
+  if src.max_value > into.max_value then into.max_value <- src.max_value
+
+let reset t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.total <- 0;
+  t.max_value <- 0
+
 let percentile t p =
   if t.total = 0 then 0
   else begin

@@ -26,3 +26,11 @@ val mean_upper : t -> float
 
 val buckets : t -> (int * int * int) list
 (** [(lo, hi, count)] for each nonempty bucket, ascending. *)
+
+val merge_into : into:t -> t -> unit
+(** Bucket-wise accumulation of [src] into [into].  Counts are additive and
+    the maximum is the max of the two, so folding per-domain histograms at a
+    barrier reproduces exactly the histogram of a sequential run. *)
+
+val reset : t -> unit
+(** Zero every bucket, the total and the maximum. *)
