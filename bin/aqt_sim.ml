@@ -1005,6 +1005,62 @@ let serve_cmd =
   let no_journal =
     Arg.(value & flag & info [ "no-journal" ] ~doc:"Do not write a journal.")
   in
+  let sweep_rate =
+    Arg.(
+      value & opt float dflt.Server.sweep_rho
+      & info [ "sweep-rate" ] ~docv:"RHO"
+          ~doc:
+            "Separate admission rate for /sweep so grid computations cannot \
+             starve cheap endpoints (<= 0 means RHO/10).")
+  in
+  let sweep_burst =
+    Arg.(
+      value & opt int dflt.Server.sweep_sigma
+      & info [ "sweep-burst" ] ~docv:"SIGMA"
+          ~doc:"Burst budget of the /sweep bucket (<= 0 derives from BURST).")
+  in
+  let client_rate =
+    Arg.(
+      value & opt float dflt.Server.client_rho
+      & info [ "client-rate" ] ~docv:"RHO"
+          ~doc:
+            "Per-client admission rate, keyed by peer address or \
+             $(b,--client-key-header) (<= 0 means RHO).")
+  in
+  let client_burst =
+    Arg.(
+      value & opt int dflt.Server.client_sigma
+      & info [ "client-burst" ] ~docv:"SIGMA"
+          ~doc:"Per-client burst budget (<= 0 means BURST).")
+  in
+  let client_key_header =
+    Arg.(
+      value & opt string dflt.Server.client_key_header
+      & info [ "client-key-header" ] ~docv:"NAME"
+          ~doc:
+            "Request header naming the client for per-client admission; \
+             empty keys on the peer address.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int dflt.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent connection cap; excess accepts get 503.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int dflt.Server.max_pipeline
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:
+            "Outstanding pipelined requests per connection before the event \
+             loop stops reading from it (TCP backpressure).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float dflt.Server.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Idle keep-alive connection expiry.")
+  in
   let selftest =
     Arg.(
       value & flag
@@ -1016,7 +1072,8 @@ let serve_cmd =
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No chatter.") in
   let run port host workers rate burst dir snapshot_every cache_max_bytes
-      no_journal selftest quiet =
+      no_journal sweep_rate sweep_burst client_rate client_burst
+      client_key_header max_conns pipeline idle_timeout selftest quiet =
     if selftest then exit (if Selftest.run ~quiet () then 0 else 1)
     else begin
       let cfg =
@@ -1031,6 +1088,14 @@ let serve_cmd =
           snapshot_every;
           cache_max_bytes;
           journal = not no_journal;
+          sweep_rho = sweep_rate;
+          sweep_sigma = sweep_burst;
+          client_rho = client_rate;
+          client_sigma = client_burst;
+          client_key_header;
+          max_conns;
+          max_pipeline = pipeline;
+          idle_timeout;
           quiet;
         }
       in
@@ -1063,7 +1128,174 @@ let serve_cmd =
           journalled periodically.  SIGTERM/SIGINT drain gracefully.")
     Term.(
       const run $ port $ host $ workers $ rate $ burst $ dir $ snapshot_every
-      $ cache_max_bytes $ no_journal $ selftest $ quiet)
+      $ cache_max_bytes $ no_journal $ sweep_rate $ sweep_burst $ client_rate
+      $ client_burst $ client_key_header $ max_conns $ pipeline $ idle_timeout
+      $ selftest $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* loadgen: latency-measuring load generator                           *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_cmd =
+  let module Loadgen = Aqt_serve.Loadgen in
+  let dflt = Loadgen.default_config in
+  let port =
+    Arg.(
+      value & opt int dflt.Loadgen.port
+      & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Target server port.")
+  in
+  let host =
+    Arg.(
+      value & opt string dflt.Loadgen.host
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Target server address.")
+  in
+  let conns =
+    Arg.(
+      value & opt int dflt.Loadgen.conns
+      & info [ "conns"; "c" ] ~docv:"N"
+          ~doc:"Concurrent keep-alive connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int dflt.Loadgen.requests
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total requests to issue.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop aggregate send rate in requests/second; 0 (the \
+             default) runs closed-loop, self-clocked to the server.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int dflt.Loadgen.pipeline
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:"Closed-loop outstanding requests per connection.")
+  in
+  let path =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "path" ] ~docv:"PATH"
+          ~doc:
+            "Request path, weighted by repetition (default /healthz). \
+             Repeatable.")
+  in
+  let seed =
+    Arg.(
+      value & opt int dflt.Loadgen.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Workload PRNG seed: same seed, same request stream.")
+  in
+  let run_timeout =
+    Arg.(
+      value & opt float dflt.Loadgen.run_timeout
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Hard wall on the whole run.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the metric,value summary to $(docv).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Append the full metrics snapshot to $(docv) as JSONL.")
+  in
+  let selftest =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Boot a throwaway server, drive it closed-loop past its \
+             (rho,sigma) budget with $(b,--conns) connections and \
+             $(b,--requests) requests, check the admitted stream fits the \
+             rho*T + sigma envelope and the p999 tail stays bounded, and \
+             exit 0 iff all checks pass.")
+  in
+  let selftest_rate =
+    Arg.(
+      value & opt float 2000.
+      & info [ "selftest-rate" ] ~docv:"RHO"
+          ~doc:"Admission rate of the throwaway selftest server.")
+  in
+  let selftest_burst =
+    Arg.(
+      value & opt int 200
+      & info [ "selftest-burst" ] ~docv:"SIGMA"
+          ~doc:"Burst budget of the throwaway selftest server.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No chatter.") in
+  let run port host conns requests rate pipeline path seed run_timeout csv
+      journal selftest selftest_rate selftest_burst quiet =
+    let emit (r : Loadgen.result) =
+      (match csv with
+      | None -> ()
+      | Some f ->
+          let oc = open_out f in
+          output_string oc (Loadgen.result_csv r);
+          close_out oc);
+      match journal with
+      | None -> ()
+      | Some f -> Loadgen.write_journal ~path:f r
+    in
+    if selftest then begin
+      let cfg_requests = requests and cfg_conns = conns in
+      exit
+        (if
+           Loadgen.selftest ~quiet ~requests:cfg_requests ~conns:cfg_conns
+             ~rho:selftest_rate ~sigma:selftest_burst ~emit ()
+         then 0
+         else 1)
+    end
+    else begin
+      let paths =
+        match path with [] -> dflt.Loadgen.paths | ps -> List.map (fun p -> (1, p)) ps
+      in
+      let cfg =
+        {
+          dflt with
+          Loadgen.host;
+          port;
+          conns;
+          requests;
+          mode = (if rate > 0. then Loadgen.Open rate else Loadgen.Closed);
+          pipeline;
+          paths;
+          seed;
+          run_timeout;
+          quiet;
+        }
+      in
+      match Loadgen.run cfg with
+      | r ->
+          emit r;
+          if not quiet then
+            print_string (Aqt_util.Jsonx.to_string (Loadgen.result_json r) ^ "\n");
+          exit (if r.Loadgen.errors * 50 > r.Loadgen.issued then 1 else 0)
+      | exception Invalid_argument msg ->
+          Printf.eprintf "aqt_sim loadgen: %s\n" msg;
+          exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive an aqt_sim serve daemon with open- or closed-loop keep-alive \
+          load over loopback and report p50/p99/p999 latency, throughput and \
+          shed rate.  Request framing varies by a heavy-tailed flow CDF; the \
+          workload is PRNG-seeded and reproducible.  With $(b,--selftest), \
+          validates the server's (rho,sigma) admission envelope end to end.")
+    Term.(
+      const run $ port $ host $ conns $ requests $ rate $ pipeline $ path
+      $ seed $ run_timeout $ csv $ journal $ selftest $ selftest_rate
+      $ selftest_burst $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* check: differential conformance + fault-injection self-test         *)
@@ -1336,5 +1568,5 @@ let () =
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
             spacetime_cmd; campaign_cmd; report_cmd; bench_gate_cmd; check_cmd;
-            soa_scale_cmd; serve_cmd;
+            soa_scale_cmd; serve_cmd; loadgen_cmd;
           ]))

@@ -94,6 +94,11 @@ let store t ~key ~name ~spec ~duration result =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
+let touch t ~key =
+  let file = path t key in
+  try Unix.utimes file 0. 0. (* 0. 0. means "now" *)
+  with Unix.Unix_error _ -> ()
+
 let cache_files t =
   if not (Sys.file_exists t.dir) then []
   else

@@ -35,6 +35,13 @@ val store :
   t -> key:string -> name:string -> spec:Spec.t -> duration:float ->
   Registry.result -> unit
 
+val touch : t -> key:string -> unit
+(** Bump the entry's file mtime to now, if it exists.  {!trim} evicts in
+    mtime order, so touching on every cache {e hit} turns store-time
+    eviction into least-recently-used eviction — a hot entry survives
+    trims no matter how old it is.  Errors (entry vanished, permissions)
+    are ignored: the touch is an optimisation, never correctness. *)
+
 val entries : t -> cached list
 (** Every parseable cache file, unordered. *)
 
@@ -42,7 +49,8 @@ val clean : t -> int
 (** Delete all cache files; returns how many were removed. *)
 
 val trim : t -> max_bytes:int -> int
-(** Evict oldest-first (by file mtime, which is the store time) until the
+(** Evict oldest-first (by file mtime: store time, or last hit when the
+    caller {!touch}es on lookup — i.e. LRU) until the
     cache directory's total payload size is at most [max_bytes]; returns
     how many files were removed.  Eviction is always safe: a removed
     entry is simply a future miss.  This is how a long-running daemon

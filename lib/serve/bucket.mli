@@ -10,15 +10,20 @@
     (ρ,σ)-bounded by construction and everything past it is shed at the
     door instead of queueing unboundedly.
 
+    The server layers two of these: a per-endpoint bucket bounds the
+    aggregate rate into each handler class, and a {!Keyed} per-client
+    family bounds any single peer, so one greedy client exhausts its own
+    envelope instead of the endpoint's.
+
     Domain-safe: a single mutex guards the refill-and-take, which is a
     handful of float operations. *)
 
 type t
 
 val create : ?now:(unit -> float) -> rho:float -> sigma:int -> unit -> t
-(** [create ~rho ~sigma ()] starts full ([σ] tokens).  [now] defaults
-    to [Unix.gettimeofday]; tests inject a fake clock to drive refill
-    deterministically.
+(** [create ~rho ~sigma ()] starts full ([σ] tokens).  [now] defaults to
+    {!Clock.monotonic} so refill is immune to wall-clock steps; tests
+    inject a fake clock to drive refill deterministically.
     @raise Invalid_argument unless [rho > 0] and [sigma >= 1]. *)
 
 val try_take : t -> bool
@@ -29,3 +34,37 @@ val level : t -> float
 
 val rho : t -> float
 val sigma : t -> int
+
+(** A family of identical buckets keyed by string — per-client admission
+    keyed by peer address (or a trusted client-id header).  Keys
+    materialise lazily on first use; when the table is full the
+    least-recently-{e used} key is evicted, so only idle clients lose
+    their bucket.  A re-materialised key starts full, which errs toward
+    admitting — acceptable because eviction only reaches keys that have
+    been quiet longest. *)
+module Keyed : sig
+  type t
+
+  val create :
+    ?now:(unit -> float) ->
+    ?max_entries:int ->
+    rho:float ->
+    sigma:int ->
+    unit ->
+    t
+  (** Every key gets its own [(rho, sigma)] bucket.  [max_entries]
+      (default 1024) caps live keys; [now] defaults to
+      {!Clock.monotonic}.
+      @raise Invalid_argument unless [rho > 0], [sigma >= 1] and
+      [max_entries >= 1]. *)
+
+  val try_take : t -> string -> bool
+  (** Admit one request for [key], creating (possibly evicting) as
+      needed; never blocks. *)
+
+  val keys : t -> int
+  (** Live keys; for metrics export. *)
+
+  val level : t -> string -> float option
+  (** Token count for [key], if it is live. *)
+end

@@ -1,0 +1,3 @@
+external monotonic : unit -> float = "aqt_monotonic_time"
+
+let wall = Unix.gettimeofday

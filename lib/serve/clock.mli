@@ -1,0 +1,17 @@
+(** Monotonic time for the serve plane.
+
+    Wall-clock time ([Unix.gettimeofday]) steps when NTP adjusts it,
+    which corrupts latency measurements and token-bucket refill.  Every
+    duration, deadline and refill computation in lib/serve therefore
+    flows through one injectable clock source, defaulting to
+    [CLOCK_MONOTONIC].  Wall time is kept only where an absolute
+    timestamp is the point: journal event [at] fields and journal file
+    names. *)
+
+val monotonic : unit -> float
+(** Seconds from an arbitrary fixed origin, strictly unaffected by
+    wall-clock steps.  The default [now] of {!Bucket.create},
+    {!Server.config} and {!Loadgen.config}. *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday] — absolute timestamps for journals only. *)

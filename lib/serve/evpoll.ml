@@ -1,0 +1,54 @@
+external poll_stub :
+  int array -> int array -> int array -> int -> int -> int = "aqt_poll"
+
+external fd_int : Unix.file_descr -> int = "%identity"
+external int_fd : int -> Unix.file_descr = "%identity"
+
+let rd_bit = 1
+let wr_bit = 2
+let err_bit = 4
+
+type t = {
+  mutable fds : int array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable n : int;
+}
+
+let create () =
+  { fds = Array.make 64 (-1); events = Array.make 64 0;
+    revents = Array.make 64 0; n = 0 }
+
+let clear t = t.n <- 0
+
+let grow t =
+  let cap = Array.length t.fds * 2 in
+  let copy a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 t.n;
+    b
+  in
+  t.fds <- copy t.fds (-1);
+  t.events <- copy t.events 0;
+  t.revents <- copy t.revents 0
+
+let add t fd ~read ~write =
+  if t.n >= Array.length t.fds then grow t;
+  t.fds.(t.n) <- fd_int fd;
+  t.events.(t.n) <- (if read then rd_bit else 0) lor (if write then wr_bit else 0);
+  t.revents.(t.n) <- 0;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let wait t ~timeout_ms = poll_stub t.fds t.events t.revents t.n timeout_ms
+
+let iter_ready t f =
+  for i = 0 to t.n - 1 do
+    let re = t.revents.(i) in
+    if re <> 0 then
+      f (int_fd t.fds.(i))
+        ~readable:(re land rd_bit <> 0)
+        ~writable:(re land wr_bit <> 0)
+        ~error:(re land err_bit <> 0)
+  done

@@ -1,0 +1,40 @@
+(** Readiness polling over poll(2).
+
+    The event loop's one blocking point.  [Unix.select] caps file
+    descriptors at FD_SETSIZE (1024); a daemon holding thousands of
+    keep-alive connections — or a load generator opening a thousand of
+    its own in the same process — needs poll(2), bound here through a C
+    stub that releases the OCaml runtime lock for the duration of the
+    wait.
+
+    A {!t} is a reusable registration buffer: {!clear} it, {!add} every
+    fd of interest, {!wait}, then {!iter_ready}.  The buffer reuses its
+    arrays across iterations, so a steady-state loop allocates nothing
+    per wait beyond closure captures. *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Forget all registrations; capacity is retained. *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register interest in [fd].  An fd registered with neither flag is
+    still polled for errors/hangup (reported via [error]). *)
+
+val length : t -> int
+(** Registrations since the last {!clear}. *)
+
+val wait : t -> timeout_ms:int -> int
+(** Block until at least one registered fd is ready or the timeout (in
+    milliseconds; [0] returns immediately, negative blocks forever)
+    expires.  Returns the number of ready fds ([0] on timeout or
+    [EINTR]).
+    @raise Failure on an unrecoverable poll error. *)
+
+val iter_ready :
+  t -> (Unix.file_descr -> readable:bool -> writable:bool -> error:bool -> unit) -> unit
+(** Visit every fd the last {!wait} reported ready, in registration
+    order.  [error] covers [POLLERR]/[POLLNVAL]; peer hangup surfaces as
+    [readable] (the next read returns 0). *)

@@ -1,16 +1,24 @@
-(** Minimal HTTP/1.1 codec over [Unix] file descriptors.
+(** HTTP/1.1 codec for the serve plane.
 
-    Just enough protocol for the serve daemon: one request per
-    connection ([Connection: close] semantics), [GET]/[HEAD]/[POST]
-    with [Content-Length] bodies, hard caps on line length, header
-    count and body size so a hostile peer cannot make a worker
-    allocate unboundedly.  Deadlines are the socket's [SO_RCVTIMEO] /
-    [SO_SNDTIMEO] options — a stalled peer surfaces as {!Timeout}, not
-    a hung worker.  Chunked transfer encoding is deliberately
-    unsupported (a simulation service controls both ends).
+    Two parsing styles share one grammar:
 
-    The {!client} section is a matching loopback client used by the
-    integration tests and [serve --selftest]. *)
+    - {!read_request} — blocking, one request per call, used by tests
+      that feed a socketpair and by the {{!section-client} clients}.
+    - {!Parser} — incremental and non-blocking, fed arbitrary byte
+      chunks by the event loop; multiple pipelined requests can come out
+      of a single chunk, and one request can arrive split across any
+      number of chunks.
+
+    Supported surface: [GET]/[HEAD]/[POST] with [Content-Length] bodies
+    and keep-alive ({!wants_keep_alive} implements the HTTP/1.1 /
+    HTTP/1.0 defaulting rules).  Hard caps on line length, header count
+    and body size bound what a hostile peer can make the daemon buffer.
+    Chunked transfer encoding is deliberately rejected — a simulation
+    service controls both ends of every connection.
+
+    {!Rparser} is the mirror image for the load generator: an
+    incremental parser of {e responses} on a pipelined client
+    connection. *)
 
 type request = {
   meth : string;  (** Upper-cased method, e.g. ["GET"]. *)
@@ -19,6 +27,7 @@ type request = {
   query : (string * string) list;  (** Decoded query pairs, in order. *)
   headers : (string * string) list;  (** Names lower-cased, values trimmed. *)
   body : string;
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] as sent. *)
 }
 
 type error =
@@ -29,21 +38,123 @@ type error =
 
 val error_to_string : error -> string
 
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val wants_keep_alive : request -> bool
+(** HTTP/1.1 defaults to keep-alive unless [Connection: close];
+    HTTP/1.0 defaults to close unless [Connection: keep-alive]. *)
+
+(** {2 Incremental request parsing}
+
+    The event loop's codec.  Feed whatever [read(2)] returned, then
+    drain with {!Parser.next} until it says [`Await]:
+
+    {[
+      Parser.feed p chunk 0 n;
+      let rec drain () =
+        match Parser.next p with
+        | `Request req -> handle req; drain ()
+        | `Await -> ()
+        | `Error e -> reject e
+      in
+      drain ()
+    ]}
+
+    Errors are sticky: after [`Error] the parser stays broken and the
+    connection should be closed (a 400 may be written first). *)
+
+module Parser : sig
+  type t
+
+  type outcome = [ `Request of request | `Await | `Error of error ]
+
+  val create : ?max_line:int -> ?max_headers:int -> ?max_body:int -> unit -> t
+  (** Defaults: 8 KiB lines, 64 headers, 1 MiB body — the same caps as
+      {!read_request}. *)
+
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed p buf off len] appends [len] bytes of input.  The bytes are
+      copied; [buf] may be reused immediately. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> outcome
+  (** Extract the next complete request, if the buffered input holds
+      one.  Call repeatedly — pipelined peers put several requests in
+      one chunk. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed into a request. *)
+end
+
+(** {2 Incremental response parsing} *)
+
+type response = {
+  status : int;
+  resp_headers : (string * string) list;
+  body : string;
+}
+
+module Rparser : sig
+  type t
+
+  type outcome = [ `Response of response | `Await | `Error of error ]
+
+  val create : ?max_body:int -> unit -> t
+  (** [max_body] defaults to 16 MiB.  Responses must carry
+      [Content-Length] (ours always do) — pipelining leaves no other way
+      to delimit them. *)
+
+  val feed : t -> bytes -> int -> int -> unit
+  val feed_string : t -> string -> unit
+  val next : t -> outcome
+  val buffered : t -> int
+end
+
+(** {2 Blocking request parsing} *)
+
 val read_request :
   ?max_line:int ->
   ?max_headers:int ->
   ?max_body:int ->
   Unix.file_descr ->
   (request, error) result
-(** Parse one request from [fd].  Defaults: 8 KiB lines, 64 headers,
-    1 MiB body.  Never raises on protocol or socket errors — they all
-    land in [Error]. *)
+(** Parse one request from [fd], blocking until it is complete.
+    Defaults: 8 KiB lines, 64 headers, 1 MiB body.  Never raises on
+    protocol or socket errors — they all land in [Error]. *)
 
-val header : request -> string -> string option
-(** Case-insensitive header lookup. *)
+(** {2 Request encoding} *)
+
+val encode_request :
+  ?meth:string ->
+  ?req_headers:(string * string) list ->
+  ?body:string ->
+  string ->
+  string
+(** Render a request as wire bytes ([GET] by default, [Host] always, a
+    [body] implies [Content-Length]).  No [Connection] header is added,
+    so the exchange defaults to keep-alive — the load generator's
+    pipelined connections are built from these. *)
+
+(** {2 Response encoding} *)
 
 val status_text : int -> string
 (** Reason phrase for the status codes the server emits. *)
+
+val encode_response :
+  ?headers:(string * string) list ->
+  ?head_only:bool ->
+  ?keep_alive:bool ->
+  status:int ->
+  body:string ->
+  unit ->
+  string
+(** Render a complete response as wire bytes ([Content-Length] always;
+    [Content-Type: text/plain; charset=utf-8] unless [headers] carries
+    one; [Connection: keep-alive] or [close] per [keep_alive], default
+    close).  [head_only] suppresses the body while keeping its length
+    header (HEAD semantics). *)
 
 val write_response :
   ?headers:(string * string) list ->
@@ -52,10 +163,7 @@ val write_response :
   status:int ->
   body:string ->
   unit
-(** Write a complete response ([Content-Length], [Connection: close];
-    [Content-Type: text/plain; charset=utf-8] unless [headers] carries
-    one).  [head_only] suppresses the body while keeping its length
-    header (HEAD semantics).
+(** {!encode_response} with [keep_alive:false], written synchronously.
     @raise Unix.Unix_error if the peer is gone or the send deadline
     expires — callers count and drop, they do not retry. *)
 
@@ -66,13 +174,7 @@ val percent_decode : string -> string
 
 val parse_query : string -> (string * string) list
 
-(** {2 Client} *)
-
-type response = {
-  status : int;
-  resp_headers : (string * string) list;
-  body : string;
-}
+(** {2:client Clients} *)
 
 val request :
   ?timeout:float ->
@@ -84,4 +186,28 @@ val request :
   (response, string) result
 (** [request ~port path] performs one HTTP exchange against
     [127.0.0.1:port] with [timeout] (default 5 s) as both connect-read
-    and write deadline.  A [body] implies [Content-Length]. *)
+    and write deadline.  A [body] implies [Content-Length].  Sends
+    [Connection: close] — one request per connection. *)
+
+(** Persistent keep-alive client: one connection, sequential requests.
+    Used by tests and the selftest to exercise connection reuse; the
+    load generator drives its own non-blocking connections instead. *)
+module Client : sig
+  type t
+
+  val connect : ?timeout:float -> port:int -> unit -> (t, string) result
+  (** Connect to [127.0.0.1:port]; [timeout] (default 5 s) bounds each
+      subsequent read and write. *)
+
+  val request :
+    t ->
+    ?meth:string ->
+    ?req_headers:(string * string) list ->
+    ?body:string ->
+    string ->
+    (response, string) result
+  (** One exchange on the shared connection.  On any error the
+      connection is closed and further requests fail fast. *)
+
+  val close : t -> unit
+end

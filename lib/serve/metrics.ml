@@ -211,5 +211,6 @@ let snapshot t =
             (h.h_name ^ "_p50", quantile h 0.50);
             (h.h_name ^ "_p95", quantile h 0.95);
             (h.h_name ^ "_p99", quantile h 0.99);
+            (h.h_name ^ "_p999", quantile h 0.999);
           ])
     (ordered t)

@@ -68,4 +68,4 @@ val render : t -> string
 val snapshot : t -> (string * float) list
 (** Counters and gauges by name (gauges also as [<name>_peak]);
     histograms as [<name>_count], [<name>_sum], [<name>_p50],
-    [<name>_p95], [<name>_p99]. *)
+    [<name>_p95], [<name>_p99], [<name>_p999]. *)

@@ -53,6 +53,11 @@ let run ?(quiet = false) () =
       campaign_dir = fresh_dir ();
       snapshot_every = 0.;
       journal = false;
+      (* Loopback is one peer: park the per-client layer out of the way
+         so each phase exercises exactly one bucket.  The per-client
+         layer has its own tests (header-keyed isolation). *)
+      client_rho = 1000.;
+      client_sigma = 200;
       quiet = true;
     }
   in
@@ -60,6 +65,7 @@ let run ?(quiet = false) () =
   let port = Server.port srv in
   let m = Server.metrics srv in
   let shed = Metrics.counter m "serve_shed_total" in
+  let conns_total = Metrics.counter m "serve_connections_total" in
   let accepted = Metrics.counter m "serve_requests_total" in
   let hits = Metrics.counter m "serve_cache_hits_total" in
   let depth = Metrics.gauge m "serve_queue_depth" in
@@ -83,6 +89,30 @@ let run ?(quiet = false) () =
        total
        (Metrics.quantile latency 0.50)
        (Metrics.quantile latency 0.99));
+
+  (* Phase 1b: one keep-alive connection, many sequential requests —
+     connection reuse means the accept counter moves by exactly one. *)
+  Unix.sleepf 0.2;
+  let conns0 = Metrics.counter_value conns_total in
+  let ka_ok, ka_total =
+    match Http.Client.connect ~port () with
+    | Error _ -> (0, 25)
+    | Ok cl ->
+        let ok = ref 0 in
+        for _ = 1 to 25 do
+          Unix.sleepf 0.01;
+          match Http.Client.request cl "/healthz" with
+          | Ok r when r.Http.status = 200 -> incr ok
+          | Ok _ | Error _ -> ()
+        done;
+        Http.Client.close cl;
+        (!ok, 25)
+  in
+  let conn_delta = Metrics.counter_value conns_total - conns0 in
+  phase "keepalive"
+    (ka_ok = ka_total && conn_delta = 1)
+    (Printf.sprintf "%d/%d answered 200 over %d connection(s)" ka_ok ka_total
+       conn_delta);
 
   (* Phase 2: fire at roughly twice the (rho,sigma) budget: bounded shedding,
      every request still gets an answer, queue depth never exceeds sigma. *)
@@ -117,6 +147,36 @@ let run ?(quiet = false) () =
        (match cold_cached with Some b -> string_of_bool b | None -> "?")
        (match warm_cached with Some b -> string_of_bool b | None -> "?")
        hit_delta);
+
+  (* Phase 3b: hammer /sweep past its own (smaller) endpoint bucket while
+     trickling /healthz within the default budget: the sweep class must
+     shed and the cheap endpoint must not notice. *)
+  Unix.sleepf 0.3 (* refill both endpoint buckets *);
+  let sweeper =
+    Domain.spawn (fun () ->
+        match Http.Client.connect ~port () with
+        | Error _ -> (0, 0)
+        | Ok cl ->
+            let shed = ref 0 and answered = ref 0 in
+            for _ = 1 to 30 do
+              Unix.sleepf 0.005;
+              match Http.Client.request cl sweep_path with
+              | Ok r ->
+                  incr answered;
+                  if r.Http.status = 429 then incr shed
+              | Error _ -> ()
+            done;
+            Http.Client.close cl;
+            (!answered, !shed))
+  in
+  let hz = fire ~pause:0.015 ~clients:1 ~each:15 ~port "/healthz" in
+  let sweep_answered, sweep_shed = Domain.join sweeper in
+  let hz_ok = count 200 hz in
+  phase "isolation"
+    (sweep_answered = 30 && sweep_shed > 0 && hz_ok = List.length hz)
+    (Printf.sprintf
+       "/sweep: %d/30 answered, %d x 429; concurrent /healthz %d/%d x 200"
+       sweep_answered sweep_shed hz_ok (List.length hz));
 
   (* Phase 4: request stop while requests are in flight; each must still be
      answered in full and shutdown must drain. *)

@@ -1,6 +1,7 @@
 module Ratio = Aqt_util.Ratio
 module Prng = Aqt_util.Prng
 module Jsonx = Aqt_util.Jsonx
+module Parallel = Aqt_util.Parallel
 module Build = Aqt_graph.Build
 module Network = Aqt_engine.Network
 module Sim = Aqt_engine.Sim
@@ -30,6 +31,17 @@ type config = {
   journal : bool;
   cache_max_bytes : int option;
   quiet : bool;
+  sweep_rho : float;
+  sweep_sigma : int;
+  client_rho : float;
+  client_sigma : int;
+  client_buckets_max : int;
+  client_key_header : string;
+  max_conns : int;
+  max_pipeline : int;
+  idle_timeout : float;
+  sweep_shards : int;
+  clock : unit -> float;
 }
 
 let default_config =
@@ -48,6 +60,17 @@ let default_config =
     journal = true;
     cache_max_bytes = None;
     quiet = false;
+    sweep_rho = 0.;
+    sweep_sigma = 0;
+    client_rho = 0.;
+    client_sigma = 0;
+    client_buckets_max = 1024;
+    client_key_header = "";
+    max_conns = 4096;
+    max_pipeline = 8;
+    idle_timeout = 30.;
+    sweep_shards = 0;
+    clock = Clock.monotonic;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -56,7 +79,9 @@ let default_config =
 
 type handles = {
   requests : Metrics.counter;
+  conns_total : Metrics.counter;
   shed : Metrics.counter;
+  shed_client : Metrics.counter;
   rejected : Metrics.counter;
   cache_hits : Metrics.counter;
   cache_misses : Metrics.counter;
@@ -64,7 +89,10 @@ type handles = {
   write_errors : Metrics.counter;
   in_flight : Metrics.gauge;
   queue_depth : Metrics.gauge;
+  open_conns : Metrics.gauge;
   tokens : Metrics.gauge;
+  sweep_tokens : Metrics.gauge;
+  client_keys : Metrics.gauge;
   latency : Metrics.histogram;
   sim_dropped : Metrics.counter;
   sim_displaced : Metrics.counter;
@@ -75,10 +103,16 @@ let make_handles m =
   {
     requests =
       Metrics.counter m "serve_requests_total"
+        ~help:"Requests parsed off client connections.";
+    conns_total =
+      Metrics.counter m "serve_connections_total"
         ~help:"Connections accepted by the listener.";
     shed =
       Metrics.counter m "serve_shed_total"
-        ~help:"Requests shed with 429 by the (rho,sigma) admission bucket.";
+        ~help:"Requests shed with 429 by a (rho,sigma) admission bucket.";
+    shed_client =
+      Metrics.counter m "serve_shed_client_total"
+        ~help:"The subset of sheds charged to a per-client bucket.";
     rejected =
       Metrics.counter m "serve_rejected_total"
         ~help:"Admitted requests rejected with 503 (queue full or draining).";
@@ -99,12 +133,21 @@ let make_handles m =
     queue_depth =
       Metrics.gauge m "serve_queue_depth"
         ~help:"Admitted requests waiting for a worker.";
+    open_conns =
+      Metrics.gauge m "serve_open_connections"
+        ~help:"Connections currently held by the event loop.";
     tokens =
       Metrics.gauge m "serve_admission_tokens"
-        ~help:"Admission bucket level at the last snapshot tick.";
+        ~help:"Default endpoint bucket level at the last snapshot tick.";
+    sweep_tokens =
+      Metrics.gauge m "serve_sweep_admission_tokens"
+        ~help:"/sweep endpoint bucket level at the last snapshot tick.";
+    client_keys =
+      Metrics.gauge m "serve_client_buckets"
+        ~help:"Live per-client admission buckets.";
     latency =
       Metrics.histogram m "serve_request_seconds"
-        ~help:"Accept-to-response latency of served requests.";
+        ~help:"Arrival-to-response latency of served requests.";
     sim_dropped =
       Metrics.counter m "serve_sim_dropped_total"
         ~help:"Packets dropped by finite-capacity buffers across /simulate runs.";
@@ -120,7 +163,55 @@ let make_handles m =
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type conn = { fd : Unix.file_descr; accepted_at : float }
+(* Handler outcome, before encoding. *)
+type out = { status : int; ctype : string; content : string }
+
+(* A fully-ordered response ready to enter a connection's write queue. *)
+type resp = {
+  rseq : int;
+  rstatus : int;
+  rkeep : bool;
+  rarrival : float;
+  rbytes : string;
+}
+
+(* Per-connection state machine, owned by the event-loop domain. *)
+type conn = {
+  fd : Unix.file_descr;
+  id : int;
+  peer : string;
+  accepted_at : float;
+  parser : Http.Parser.t;
+  outq : string Queue.t;
+  mutable cur : string; (* partially-written head of outq *)
+  mutable cur_off : int;
+  mutable next_seq : int; (* next request sequence number *)
+  mutable emit_seq : int; (* next response allowed into outq *)
+  mutable pending : resp list; (* completed out of order *)
+  mutable inflight : int; (* dispatched to workers, not yet back *)
+  mutable close_after : bool; (* stop reading; close once flushed *)
+  mutable eof : bool;
+  mutable dl_gen : int; (* invalidates stale timer-wheel entries *)
+  mutable alive : bool;
+}
+
+type job = {
+  jid : int;
+  jseq : int;
+  jarrival : float;
+  jhead : bool;
+  jkeep : bool;
+  jreq : Http.request;
+}
+
+type completion = {
+  cid : int;
+  cseq : int;
+  carrival : float;
+  chead : bool;
+  ckeep : bool;
+  cout : out;
+}
 
 type t = {
   cfg : config;
@@ -128,32 +219,48 @@ type t = {
   figures : Report.figure list;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  bucket : Bucket.t;
-  queue : conn Queue.t;
+  now_mono : unit -> float;
+  (* admission *)
+  bucket : Bucket.t; (* default endpoint class *)
+  sweep_bucket : Bucket.t; (* /sweep endpoint class *)
+  client_buckets : Bucket.Keyed.t;
+  client_key_header : string; (* lower-cased; "" = key on peer address *)
+  (* worker dispatch *)
+  jobs : job Queue.t;
   qlock : Mutex.t;
   qcond : Condition.t;
-  mutable draining : bool;  (* under qlock *)
+  mutable draining : bool; (* under qlock *)
   queue_cap : int;
+  (* completions, workers -> event loop *)
+  comps : completion Queue.t;
+  comp_lock : Mutex.t;
+  (* lifecycle *)
   stop_flag : bool Atomic.t;
   stopped_flag : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
+  (* event-loop-owned connection state (no lock needed) *)
+  conns : (int, conn) Hashtbl.t; (* by conn id *)
+  by_fd : (int, conn) Hashtbl.t; (* by raw fd *)
+  wheel : (int * int) Timewheel.t; (* (conn id, dl_gen) *)
+  rbuf : Bytes.t; (* shared read scratch *)
   metrics : Metrics.t;
   m : handles;
   cache : Cache.t;
   journal : Journal.writer option;
-  figure_memo : (string, string) Hashtbl.t;
+  figure_memo : (string, string * int ref) Hashtbl.t;
   flock : Mutex.t;
   base_rng : Prng.t;
   mutable worker_domains : unit Domain.t list;
-  mutable accept_domain : unit Domain.t option;
+  mutable loop_domain : unit Domain.t option;
+  mutable next_conn_id : int;
 }
 
 let port t = t.bound_port
 let metrics t = t.metrics
 let stopped t = Atomic.get t.stopped_flag
 
-let now () = Unix.gettimeofday ()
+external fd_int : Unix.file_descr -> int = "%identity"
 
 let status_counter t status =
   Metrics.counter t.metrics
@@ -238,12 +345,6 @@ let check_horizon h =
   h
 
 let check_hops d = if d < 1 || d > 64 then bad "hops %d out of range [1, 64]" d else d
-
-(* ------------------------------------------------------------------ *)
-(* Handler outcome                                                     *)
-(* ------------------------------------------------------------------ *)
-
-type out = { status : int; ctype : string; content : string }
 
 let text ?(status = 200) content =
   { status; ctype = "text/plain; charset=utf-8"; content }
@@ -358,45 +459,45 @@ let sweep_spec p =
   ]
 
 (* Same grid as `aqt_sim sweep`, built into a Registry.result so it can be
-   content-addressed into the shared campaign cache. *)
-let compute_sweep p =
+   content-addressed into the shared campaign cache.  Cells are
+   independent (policy, rate) classifications, so they shard across
+   domains; each cell interns its own routes, which costs a little
+   duplicate work in exchange for no shared mutable state. *)
+let compute_sweep ?(shards = 1) p =
   let graph, routes = build_net ~d:p.sp_d p.sp_net in
-  let route_table = Aqt_engine.Route_intern.create () in
+  let cells =
+    List.concat_map
+      (fun policy -> List.map (fun rate -> (policy, rate)) p.sp_rates)
+      p.sp_policies
+  in
+  let run_cell ((policy : Aqt_engine.Policy_type.t), rate) =
+    let route_table = Aqt_engine.Route_intern.create () in
+    let per_route =
+      Ratio.div rate (Ratio.of_int (max 1 (List.length routes)))
+    in
+    let adv =
+      Stock.shared_token_bucket ~rate:per_route ~routes ~horizon:p.sp_horizon ()
+    in
+    let adv = { adv with Stock.rate } in
+    let report =
+      Aqt.Sweep.classify ~route_table ~name:"serve.sweep" ~graph ~policy
+        ~adversary:adv ~horizon:p.sp_horizon ()
+    in
+    [
+      policy.name;
+      Ratio.to_string rate;
+      Aqt.Sweep.verdict_to_string report.Aqt.Sweep.verdict;
+      string_of_int report.Aqt.Sweep.max_queue;
+      string_of_int report.Aqt.Sweep.final_backlog;
+    ]
+  in
+  let workers = max 1 (min shards (List.length cells)) in
+  let rows = Parallel.map ~workers run_cell cells in
   let rb = Registry.Rb.create () in
-  let rows = ref [] in
-  let cells = ref 0 in
-  List.iter
-    (fun (policy : Aqt_engine.Policy_type.t) ->
-      List.iter
-        (fun rate ->
-          let per_route =
-            Ratio.div rate (Ratio.of_int (max 1 (List.length routes)))
-          in
-          let adv =
-            Stock.shared_token_bucket ~rate:per_route ~routes
-              ~horizon:p.sp_horizon ()
-          in
-          let adv = { adv with Stock.rate } in
-          let report =
-            Aqt.Sweep.classify ~route_table ~name:"serve.sweep" ~graph ~policy
-              ~adversary:adv ~horizon:p.sp_horizon ()
-          in
-          incr cells;
-          rows :=
-            [
-              policy.name;
-              Ratio.to_string rate;
-              Aqt.Sweep.verdict_to_string report.Aqt.Sweep.verdict;
-              string_of_int report.Aqt.Sweep.max_queue;
-              string_of_int report.Aqt.Sweep.final_backlog;
-            ]
-            :: !rows)
-        p.sp_rates)
-    p.sp_policies;
   Registry.Rb.table rb ~id:"serve_sweep"
     ~headers:[ "policy"; "rate"; "verdict"; "max queue"; "final backlog" ]
-    (List.rev !rows);
-  Registry.Rb.metric rb "cells" (float_of_int !cells);
+    rows;
+  Registry.Rb.metric rb "cells" (float_of_int (List.length cells));
   Registry.Rb.result rb
 
 let result_payload ~name ~key ~cached ~duration result =
@@ -414,20 +515,23 @@ let serve_cached t ~name ~spec ~compute =
   match Cache.lookup t.cache ~key with
   | Some c ->
       Metrics.inc t.m.cache_hits;
+      (* The hit refreshes the entry's mtime, turning trim's
+         oldest-first eviction into LRU. *)
+      Cache.touch t.cache ~key;
       json
         (result_payload ~name ~key ~cached:true ~duration:c.Cache.duration
            c.Cache.result)
   | None ->
       Metrics.inc t.m.cache_misses;
-      let t0 = now () in
+      let t0 = t.now_mono () in
       let result = compute () in
-      let duration = now () -. t0 in
+      let duration = t.now_mono () -. t0 in
       Cache.store t.cache ~key ~name ~spec ~duration result;
       json (result_payload ~name ~key ~cached:false ~duration result)
 
 let sweep_handler t p =
   serve_cached t ~name:"serve.sweep" ~spec:(sweep_spec p) ~compute:(fun () ->
-      compute_sweep p)
+      compute_sweep ~shards:(max 1 t.cfg.sweep_shards) p)
 
 (* ------------------------------------------------------------------ *)
 (* /experiment/<name>                                                  *)
@@ -456,6 +560,8 @@ let render_figure t (fig : Report.figure) =
   let ctx = Report.build_ctx ~registry:t.registry ~options [ fig ] in
   fig.Report.render ctx
 
+let max_figure_memo = 64
+
 let figure_handler t id =
   let svg body = { status = 200; ctype = "image/svg+xml"; content = body } in
   (* One mutex serializes renders: figure campaigns journal into the shared
@@ -466,8 +572,9 @@ let figure_handler t id =
     ~finally:(fun () -> Mutex.unlock t.flock)
     (fun () ->
       match Hashtbl.find_opt t.figure_memo id with
-      | Some body ->
+      | Some (body, hits) ->
           Metrics.inc t.m.cache_hits;
+          incr hits;
           svg body
       | None -> (
           match
@@ -477,7 +584,21 @@ let figure_handler t id =
           | Some fig ->
               Metrics.inc t.m.cache_misses;
               let body = render_figure t fig in
-              Hashtbl.replace t.figure_memo id body;
+              (* Bounded memo with hit-count retention: when full, the
+                 least-requested render goes first. *)
+              if Hashtbl.length t.figure_memo >= max_figure_memo then begin
+                let victim = ref None in
+                Hashtbl.iter
+                  (fun k (_, h) ->
+                    match !victim with
+                    | Some (_, hv) when hv <= !h -> ()
+                    | _ -> victim := Some (k, !h))
+                  t.figure_memo;
+                match !victim with
+                | Some (k, _) -> Hashtbl.remove t.figure_memo k
+                | None -> ()
+              end;
+              Hashtbl.replace t.figure_memo id (body, ref 1);
               svg body))
 
 (* ------------------------------------------------------------------ *)
@@ -596,10 +717,18 @@ let simulate_handler t rng q =
 let index_body t =
   let b = Buffer.create 512 in
   Buffer.add_string b "aqt_sim serve: rate-admission simulation service\n\n";
-  Printf.bprintf b "admission: rho=%g req/s, sigma=%d (token bucket)\n"
-    t.cfg.rho t.cfg.sigma;
-  Printf.bprintf b "workers: %d, queue capacity: %d\n\n" t.cfg.workers
-    t.queue_cap;
+  Printf.bprintf b
+    "admission: rho=%g req/s sigma=%d (default), sweep rho=%g sigma=%d,\n\
+    \           per-client rho=%g sigma=%d (keyed by %s, max %d keys)\n"
+    (Bucket.rho t.bucket) (Bucket.sigma t.bucket)
+    (Bucket.rho t.sweep_bucket) (Bucket.sigma t.sweep_bucket)
+    t.cfg.client_rho t.cfg.client_sigma
+    (if t.client_key_header = "" then "peer address"
+     else t.client_key_header ^ " header")
+    t.cfg.client_buckets_max;
+  Printf.bprintf b
+    "workers: %d, queue capacity: %d, max conns: %d, pipeline depth: %d\n\n"
+    t.cfg.workers t.queue_cap t.cfg.max_conns t.cfg.max_pipeline;
   Buffer.add_string b
     "endpoints:\n\
     \  GET  /healthz              liveness\n\
@@ -644,54 +773,322 @@ let route t rng (req : Http.request) =
           | Some _ -> text ~status:405 "method not allowed\n"
           | None -> text ~status:404 "not found\n"))
 
+(* The event loop answers these inline; everything else goes to the
+   worker pool.  They are cheap, allocation-light and never block. *)
+let fast_path = function "/healthz" | "/metrics" | "/" -> true | _ -> false
+
 (* ------------------------------------------------------------------ *)
-(* Workers                                                             *)
+(* Connection lifecycle (event-loop domain only)                       *)
 (* ------------------------------------------------------------------ *)
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let serve_conn t rng conn =
-  Metrics.add_gauge t.m.in_flight 1.;
-  let fd = conn.fd in
-  let respond ?(head_only = false) (o : out) =
-    (try
-       Http.write_response fd
-         ~headers:[ ("Content-Type", o.ctype) ]
-         ~head_only ~status:o.status ~body:o.content
-     with Unix.Unix_error _ -> Metrics.inc t.m.write_errors);
-    Metrics.inc (status_counter t o.status);
-    Metrics.observe t.m.latency (now () -. conn.accepted_at)
+let close_conn t c =
+  if c.alive then begin
+    c.alive <- false;
+    Hashtbl.remove t.conns c.id;
+    Hashtbl.remove t.by_fd (fd_int c.fd);
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    close_quietly c.fd;
+    Metrics.add_gauge t.m.open_conns (-1.)
+  end
+
+(* Re-arm the connection's single deadline for its current state.  The
+   generation counter lazily invalidates whatever was already filed. *)
+let rearm t c =
+  if c.alive then begin
+    c.dl_gen <- c.dl_gen + 1;
+    let now = t.now_mono () in
+    let dl =
+      if c.cur <> "" || not (Queue.is_empty c.outq) then
+        now +. t.cfg.write_timeout
+      else if Http.Parser.buffered c.parser > 0 then now +. t.cfg.read_timeout
+      else now +. t.cfg.idle_timeout
+    in
+    Timewheel.add t.wheel ~deadline:dl (c.id, c.dl_gen)
+  end
+
+(* A fired deadline with a current generation: no progress since the
+   arm, so act on whatever the connection is stuck in. *)
+let timeout_action t c =
+  if c.cur <> "" || not (Queue.is_empty c.outq) then begin
+    (* Peer is not draining its responses. *)
+    Metrics.inc t.m.write_errors;
+    close_conn t c
+  end
+  else if c.inflight > 0 || c.pending <> [] then
+    (* A worker is still computing; that is not the peer's fault. *)
+    rearm t c
+  else if Http.Parser.buffered c.parser > 0 then begin
+    (* Mid-request stall: answer 408 and hang up. *)
+    Metrics.inc t.m.read_errors;
+    let bytes =
+      Http.encode_response ~keep_alive:false ~status:408
+        ~body:"request read timed out\n" ()
+    in
+    Metrics.inc (status_counter t 408);
+    Queue.push bytes c.outq;
+    c.close_after <- true;
+    rearm t c
+  end
+  else close_conn t c (* idle keep-alive expiry *)
+
+(* Write as much of the out-queue as the socket accepts. *)
+let rec flush t c =
+  if c.alive then begin
+    if c.cur = "" && not (Queue.is_empty c.outq) then begin
+      c.cur <- Queue.pop c.outq;
+      c.cur_off <- 0
+    end;
+    if c.cur <> "" then begin
+      match
+        Unix.write_substring c.fd c.cur c.cur_off
+          (String.length c.cur - c.cur_off)
+      with
+      | n ->
+          c.cur_off <- c.cur_off + n;
+          if c.cur_off >= String.length c.cur then begin
+            c.cur <- "";
+            c.cur_off <- 0
+          end;
+          rearm t c;
+          flush t c
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush t c
+      | exception Unix.Unix_error _ ->
+          Metrics.inc t.m.write_errors;
+          close_conn t c
+    end;
+    if
+      c.alive && c.close_after && c.cur = ""
+      && Queue.is_empty c.outq
+      && c.inflight = 0 && c.pending = []
+    then close_conn t c
+  end
+
+(* Pipelined responses must leave in request order: a response for the
+   wrong sequence number parks in [pending] until its turn. *)
+let rec emit t c (r : resp) =
+  if not c.alive then ()
+  else if r.rseq = c.emit_seq then begin
+    Queue.push r.rbytes c.outq;
+    c.emit_seq <- c.emit_seq + 1;
+    Metrics.inc (status_counter t r.rstatus);
+    Metrics.observe t.m.latency (t.now_mono () -. r.rarrival);
+    if not r.rkeep then c.close_after <- true;
+    match List.partition (fun p -> p.rseq = c.emit_seq) c.pending with
+    | [ nxt ], rest ->
+        c.pending <- rest;
+        emit t c nxt
+    | _ -> ()
+  end
+  else c.pending <- r :: c.pending
+
+let make_resp t ~seq ~arrival ~head ~keep (o : out) =
+  let keep = keep && not (Atomic.get t.stop_flag) in
+  let headers =
+    ("Content-Type", o.ctype)
+    ::
+    (if o.status = 429 || o.status = 503 then [ ("Retry-After", "1") ] else [])
   in
-  (try
-     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout;
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
-     match Http.read_request fd with
-     | Error Http.Closed -> Metrics.inc t.m.read_errors
-     | Error Http.Timeout ->
-         Metrics.inc t.m.read_errors;
-         respond (text ~status:408 "request read timed out\n")
-     | Error (Http.Too_large what) ->
-         Metrics.inc t.m.read_errors;
-         respond (text ~status:413 (Printf.sprintf "too large: %s\n" what))
-     | Error (Http.Malformed what) ->
-         Metrics.inc t.m.read_errors;
-         respond (text ~status:400 (Printf.sprintf "malformed request: %s\n" what))
-     | Ok req ->
-         let o =
-           try route t rng req with
-           | Bad_request msg -> text ~status:400 ("bad request: " ^ msg ^ "\n")
-           | Failure msg -> text ~status:500 ("internal error: " ^ msg ^ "\n")
-           | Invalid_argument msg ->
-               text ~status:500 ("internal error: " ^ msg ^ "\n")
-         in
-         respond ~head_only:(req.Http.meth = "HEAD") o
-   with e ->
-     (* A handler bug must never take a worker domain down with it. *)
-     Metrics.inc t.m.read_errors;
-     ignore (Printexc.to_string e));
-  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  close_quietly fd;
-  Metrics.add_gauge t.m.in_flight (-1.)
+  {
+    rseq = seq;
+    rstatus = o.status;
+    rkeep = keep;
+    rarrival = arrival;
+    rbytes =
+      Http.encode_response ~headers ~head_only:head ~keep_alive:keep
+        ~status:o.status ~body:o.content ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Two layers, both (rho,sigma) buckets: the per-client bucket bounds
+   any single peer, then the per-endpoint bucket bounds the aggregate
+   into the handler class.  /sweep has its own (smaller) endpoint
+   bucket so grid computations cannot starve cheap endpoints. *)
+let admit t c (req : Http.request) =
+  let key =
+    match
+      if t.client_key_header = "" then None
+      else Http.header req t.client_key_header
+    with
+    | Some v -> v
+    | None -> c.peer
+  in
+  if not (Bucket.Keyed.try_take t.client_buckets key) then begin
+    Metrics.inc t.m.shed;
+    Metrics.inc t.m.shed_client;
+    Error (text ~status:429 "shed: client (rho,sigma) budget exhausted\n")
+  end
+  else
+    let b =
+      if req.Http.path = "/sweep" then t.sweep_bucket else t.bucket
+    in
+    if not (Bucket.try_take b) then begin
+      Metrics.inc t.m.shed;
+      Error (text ~status:429 "shed: (rho,sigma) admission budget exhausted\n")
+    end
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch and request handling                                       *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch t c ~seq ~arrival ~head ~keep req =
+  let job = { jid = c.id; jseq = seq; jarrival = arrival; jhead = head;
+              jkeep = keep; jreq = req } in
+  Mutex.lock t.qlock;
+  if t.draining || Queue.length t.jobs >= t.queue_cap then begin
+    Mutex.unlock t.qlock;
+    Metrics.inc t.m.rejected;
+    let msg =
+      if Atomic.get t.stop_flag then "shutting down\n" else "queue full\n"
+    in
+    emit t c (make_resp t ~seq ~arrival ~head ~keep:false (text ~status:503 msg))
+  end
+  else begin
+    Queue.push job t.jobs;
+    Metrics.set_gauge t.m.queue_depth (float_of_int (Queue.length t.jobs));
+    Condition.signal t.qcond;
+    Mutex.unlock t.qlock;
+    c.inflight <- c.inflight + 1
+  end
+
+let on_request t c (req : Http.request) =
+  Metrics.inc t.m.requests;
+  let arrival = t.now_mono () in
+  let seq = c.next_seq in
+  c.next_seq <- seq + 1;
+  let head = req.Http.meth = "HEAD" in
+  let keep = Http.wants_keep_alive req in
+  if Atomic.get t.stop_flag then
+    emit t c
+      (make_resp t ~seq ~arrival ~head ~keep:false
+         (text ~status:503 "shutting down\n"))
+  else
+    match admit t c req with
+    | Error o -> emit t c (make_resp t ~seq ~arrival ~head ~keep o)
+    | Ok () ->
+        if fast_path req.Http.path then begin
+          let o =
+            try route t t.base_rng req
+            with
+            | Bad_request msg -> text ~status:400 ("bad request: " ^ msg ^ "\n")
+            | Failure msg -> text ~status:500 ("internal error: " ^ msg ^ "\n")
+            | Invalid_argument msg ->
+                text ~status:500 ("internal error: " ^ msg ^ "\n")
+          in
+          emit t c (make_resp t ~seq ~arrival ~head ~keep o)
+        end
+        else dispatch t c ~seq ~arrival ~head ~keep req
+
+let paused t c = c.inflight >= t.cfg.max_pipeline
+
+(* Pull every complete request out of the connection's parser.  Pauses
+   at [max_pipeline] outstanding dispatches — the poll registration
+   drops read interest, which is TCP backpressure on the peer. *)
+let rec drain_parser t c =
+  if c.alive && not c.close_after && not (paused t c) then
+    match Http.Parser.next c.parser with
+    | `Await -> ()
+    | `Request req ->
+        on_request t c req;
+        drain_parser t c
+    | `Error e ->
+        Metrics.inc t.m.read_errors;
+        let o =
+          match e with
+          | Http.Too_large what ->
+              text ~status:413 (Printf.sprintf "too large: %s\n" what)
+          | Http.Malformed what ->
+              text ~status:400 (Printf.sprintf "malformed request: %s\n" what)
+          | Http.Timeout | Http.Closed ->
+              text ~status:400 "malformed request\n"
+        in
+        let seq = c.next_seq in
+        c.next_seq <- seq + 1;
+        emit t c (make_resp t ~seq ~arrival:(t.now_mono ()) ~head:false
+                    ~keep:false o)
+
+let on_eof t c =
+  c.eof <- true;
+  if c.inflight = 0 && c.pending = [] && c.cur = "" && Queue.is_empty c.outq
+  then begin
+    if Http.Parser.buffered c.parser > 0 then Metrics.inc t.m.read_errors;
+    close_conn t c
+  end
+  else c.close_after <- true
+
+let on_readable t c =
+  let continue = ref true in
+  let budget = ref 65536 in
+  while !continue && !budget > 0 && c.alive do
+    match Unix.read c.fd t.rbuf 0 (Bytes.length t.rbuf) with
+    | 0 ->
+        continue := false;
+        on_eof t c
+    | n ->
+        budget := !budget - n;
+        Http.Parser.feed c.parser t.rbuf 0 n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        Metrics.inc t.m.read_errors;
+        close_conn t c;
+        continue := false
+  done;
+  if c.alive then begin
+    drain_parser t c;
+    flush t c;
+    rearm t c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Completions: worker -> event loop                                   *)
+(* ------------------------------------------------------------------ *)
+
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 'x') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let push_completion t comp =
+  Mutex.lock t.comp_lock;
+  Queue.push comp t.comps;
+  Mutex.unlock t.comp_lock;
+  wake t
+
+let process_completions t =
+  let rec pop () =
+    Mutex.lock t.comp_lock;
+    let x = if Queue.is_empty t.comps then None else Some (Queue.pop t.comps) in
+    Mutex.unlock t.comp_lock;
+    match x with
+    | None -> ()
+    | Some comp ->
+        (match Hashtbl.find_opt t.conns comp.cid with
+        | None -> () (* connection died while the worker computed *)
+        | Some c ->
+            c.inflight <- c.inflight - 1;
+            emit t c
+              (make_resp t ~seq:comp.cseq ~arrival:comp.carrival
+                 ~head:comp.chead ~keep:comp.ckeep comp.cout);
+            (* Un-pausing may expose already-buffered pipelined
+               requests that arrived while we were at depth. *)
+            drain_parser t c;
+            flush t c;
+            rearm t c);
+        pop ()
+  in
+  pop ()
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let worker_loop t i () =
   let rng = Prng.stream t.base_rng i in
@@ -702,39 +1099,135 @@ let worker_loop t i () =
   in
   let rec loop () =
     Mutex.lock t.qlock;
-    while Queue.is_empty t.queue && not t.draining do
+    while Queue.is_empty t.jobs && not t.draining do
       Condition.wait t.qcond t.qlock
     done;
     let job =
-      if Queue.is_empty t.queue then None
+      if Queue.is_empty t.jobs then None
       else begin
-        let c = Queue.pop t.queue in
-        Metrics.set_gauge t.m.queue_depth (float_of_int (Queue.length t.queue));
-        Some c
+        let j = Queue.pop t.jobs in
+        Metrics.set_gauge t.m.queue_depth (float_of_int (Queue.length t.jobs));
+        Some j
       end
     in
     Mutex.unlock t.qlock;
     match job with
-    | None -> ()  (* draining and empty: exit *)
-    | Some conn ->
-        serve_conn t rng conn;
+    | None -> () (* draining and empty: exit *)
+    | Some j ->
+        Metrics.add_gauge t.m.in_flight 1.;
+        let o =
+          (* A handler bug must never take a worker domain down with it. *)
+          try route t rng j.jreq with
+          | Bad_request msg -> text ~status:400 ("bad request: " ^ msg ^ "\n")
+          | Failure msg -> text ~status:500 ("internal error: " ^ msg ^ "\n")
+          | Invalid_argument msg ->
+              text ~status:500 ("internal error: " ^ msg ^ "\n")
+          | e ->
+              text ~status:500
+                ("internal error: " ^ Printexc.to_string e ^ "\n")
+        in
+        Metrics.add_gauge t.m.in_flight (-1.);
+        push_completion t
+          {
+            cid = j.jid;
+            cseq = j.jseq;
+            carrival = j.jarrival;
+            chead = j.jhead;
+            ckeep = j.jkeep;
+            cout = o;
+          };
         Metrics.set_gauge gc_words (Gc.minor_words ());
         loop ()
   in
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Accept loop                                                         *)
+(* Accept                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle_accept t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, addr ->
+        Metrics.inc t.m.conns_total;
+        if Hashtbl.length t.conns >= t.cfg.max_conns then begin
+          (* Over the connection cap: best-effort 503 and hang up —
+             shed work must not consume the loop it is protecting. *)
+          Metrics.inc t.m.rejected;
+          Metrics.inc (status_counter t 503);
+          let bytes =
+            Http.encode_response
+              ~headers:[ ("Retry-After", "1") ]
+              ~keep_alive:false ~status:503 ~body:"too many connections\n" ()
+          in
+          (try
+             Unix.set_nonblock fd;
+             ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+           with Unix.Unix_error _ -> ());
+          close_quietly fd
+        end
+        else begin
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let peer =
+            match addr with
+            | Unix.ADDR_INET (a, _) -> Unix.string_of_inet_addr a
+            | Unix.ADDR_UNIX s -> s
+          in
+          let id = t.next_conn_id in
+          t.next_conn_id <- id + 1;
+          let c =
+            {
+              fd;
+              id;
+              peer;
+              accepted_at = t.now_mono ();
+              parser = Http.Parser.create ();
+              outq = Queue.create ();
+              cur = "";
+              cur_off = 0;
+              next_seq = 0;
+              emit_seq = 0;
+              pending = [];
+              inflight = 0;
+              close_after = false;
+              eof = false;
+              dl_gen = 0;
+              alive = true;
+            }
+          in
+          Hashtbl.replace t.conns id c;
+          Hashtbl.replace t.by_fd (fd_int fd) c;
+          Metrics.add_gauge t.m.open_conns 1.;
+          rearm t c
+        end;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let write_snapshot t =
   Metrics.set_gauge t.m.tokens (Bucket.level t.bucket);
+  Metrics.set_gauge t.m.sweep_tokens (Bucket.level t.sweep_bucket);
+  Metrics.set_gauge t.m.client_keys
+    (float_of_int (Bucket.Keyed.keys t.client_buckets));
   match t.journal with
   | None -> ()
   | Some j ->
       Journal.write j
         (Journal.Snapshot
-           { at = now (); label = "serve.metrics"; values = Metrics.snapshot t.metrics })
+           {
+             at = Clock.wall ();
+             label = "serve.metrics";
+             values = Metrics.snapshot t.metrics;
+           })
 
 let drain_wake t =
   let b = Bytes.create 64 in
@@ -746,56 +1239,9 @@ let drain_wake t =
   in
   go ()
 
-(* 429/503 are written from the accept loop itself: shed work must not
-   consume the worker pool it is protecting. *)
-let respond_direct t fd status body =
-  (try
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
-     Http.write_response fd ~headers:[ ("Retry-After", "1") ] ~status ~body
-   with Unix.Unix_error _ -> Metrics.inc t.m.write_errors);
-  Metrics.inc (status_counter t status);
-  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  close_quietly fd
-
-let handle_new t fd =
-  Metrics.inc t.m.requests;
-  if not (Bucket.try_take t.bucket) then begin
-    Metrics.inc t.m.shed;
-    respond_direct t fd 429 "shed: (rho,sigma) admission budget exhausted\n"
-  end
-  else begin
-    Mutex.lock t.qlock;
-    if t.draining || Queue.length t.queue >= t.queue_cap then begin
-      Mutex.unlock t.qlock;
-      Metrics.inc t.m.rejected;
-      respond_direct t fd 503
-        (if Atomic.get t.stop_flag then "shutting down\n" else "queue full\n")
-    end
-    else begin
-      Queue.push { fd; accepted_at = now () } t.queue;
-      Metrics.set_gauge t.m.queue_depth (float_of_int (Queue.length t.queue));
-      Condition.signal t.qcond;
-      Mutex.unlock t.qlock
-    end
-  end
-
-let accept_burst t =
-  let rec go () =
-    match Unix.accept ~cloexec:true t.listen_fd with
-    | fd, _ ->
-        handle_new t fd;
-        go ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> go ()
-  in
-  go ()
-
-let shutdown t =
-  close_quietly t.listen_fd;
-  Mutex.lock t.qlock;
-  t.draining <- true;
-  Condition.broadcast t.qcond;
-  Mutex.unlock t.qlock;
+let finalize t =
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter (close_conn t) cs;
   List.iter Domain.join t.worker_domains;
   t.worker_domains <- [];
   write_snapshot t;
@@ -805,31 +1251,101 @@ let shutdown t =
   if not t.cfg.quiet then Printf.printf "serve: drained, bye\n%!";
   Atomic.set t.stopped_flag true
 
-let accept_loop t () =
+(* How long a graceful drain may take before stragglers are cut off. *)
+let drain_grace = 75.
+
+let event_loop t () =
+  let ep = Evpoll.create () in
   let tick = if t.cfg.snapshot_every > 0. then t.cfg.snapshot_every else 3600. in
-  let next_snapshot = ref (now () +. tick) in
-  while not (Atomic.get t.stop_flag) do
-    (match Unix.select [ t.listen_fd; t.wake_r ] [] [] 0.25 with
-    | ready, _, _ ->
-        if List.mem t.wake_r ready then drain_wake t;
-        if List.mem t.listen_fd ready then accept_burst t
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    if now () >= !next_snapshot then begin
-      next_snapshot := now () +. tick;
+  let next_snapshot = ref (t.now_mono () +. tick) in
+  let draining_started = ref false in
+  let drain_deadline = ref Float.infinity in
+  let finished = ref false in
+  let listen_int = fd_int t.listen_fd and wake_int = fd_int t.wake_r in
+  while not !finished do
+    if Atomic.get t.stop_flag && not !draining_started then begin
+      draining_started := true;
+      drain_deadline := t.now_mono () +. drain_grace;
+      close_quietly t.listen_fd;
+      Mutex.lock t.qlock;
+      t.draining <- true;
+      Condition.broadcast t.qcond;
+      Mutex.unlock t.qlock;
+      (* Stop reading everywhere; in-flight work still completes and
+         its responses still flush. *)
+      let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      List.iter
+        (fun c ->
+          c.close_after <- true;
+          flush t c)
+        cs
+    end;
+    Evpoll.clear ep;
+    if not !draining_started then
+      Evpoll.add ep t.listen_fd ~read:true ~write:false;
+    Evpoll.add ep t.wake_r ~read:true ~write:false;
+    Hashtbl.iter
+      (fun _ c ->
+        let want_read = (not c.close_after) && (not c.eof) && not (paused t c) in
+        let want_write = c.cur <> "" || not (Queue.is_empty c.outq) in
+        if want_read || want_write then
+          Evpoll.add ep c.fd ~read:want_read ~write:want_write)
+      t.conns;
+    let timeout_ms = if !draining_started then 20 else 100 in
+    ignore (Evpoll.wait ep ~timeout_ms);
+    Evpoll.iter_ready ep (fun fd ~readable ~writable ~error ->
+        let fdi = fd_int fd in
+        if fdi = wake_int then begin
+          if readable then drain_wake t
+        end
+        else if fdi = listen_int && not !draining_started then begin
+          if readable then handle_accept t
+        end
+        else
+          match Hashtbl.find_opt t.by_fd fdi with
+          | None -> ()
+          | Some c ->
+              if error then close_conn t c
+              else begin
+                if writable && c.alive then flush t c;
+                if readable && c.alive then on_readable t c
+              end);
+    process_completions t;
+    let now = t.now_mono () in
+    Timewheel.advance t.wheel ~now (fun (cid, gen) ->
+        match Hashtbl.find_opt t.conns cid with
+        | Some c when c.alive && c.dl_gen = gen -> timeout_action t c
+        | _ -> ());
+    if now >= !next_snapshot then begin
+      next_snapshot := now +. tick;
       if t.cfg.snapshot_every > 0. then write_snapshot t;
       match t.cfg.cache_max_bytes with
       | Some max_bytes -> ignore (Cache.trim t.cache ~max_bytes)
       | None -> ()
+    end;
+    if !draining_started then begin
+      Mutex.lock t.qlock;
+      let queued = Queue.length t.jobs in
+      Mutex.unlock t.qlock;
+      let busy = ref (queued > 0) in
+      Hashtbl.iter
+        (fun _ c ->
+          if
+            c.inflight > 0 || c.pending <> [] || c.cur <> ""
+            || not (Queue.is_empty c.outq)
+          then busy := true)
+        t.conns;
+      if (not !busy) || now > !drain_deadline then finished := true
     end
   done;
-  shutdown t
+  finalize t
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let journal_path dir =
-  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let tm = Unix.gmtime (Clock.wall ()) in
   Filename.concat
     (Filename.concat dir "journal")
     (Printf.sprintf "serve-%04d%02d%02d-%02d%02d%02d-%d.jsonl"
@@ -843,6 +1359,31 @@ let start ?(registry = Registry.create ()) ?(figures = []) cfg =
   if cfg.sigma < 1 then invalid_arg "Server.start: sigma must be >= 1";
   if cfg.read_timeout <= 0. || cfg.write_timeout <= 0. then
     invalid_arg "Server.start: timeouts must be positive";
+  if cfg.idle_timeout <= 0. then
+    invalid_arg "Server.start: idle_timeout must be positive";
+  if cfg.max_pipeline < 1 then
+    invalid_arg "Server.start: max_pipeline must be >= 1";
+  if cfg.max_conns < 1 then invalid_arg "Server.start: max_conns must be >= 1";
+  (* Resolve the <= 0 "inherit" sentinels once, so both the buckets and
+     the index page see the effective values. *)
+  let cfg =
+    {
+      cfg with
+      sweep_rho = (if cfg.sweep_rho > 0. then cfg.sweep_rho else cfg.rho /. 10.);
+      sweep_sigma =
+        (if cfg.sweep_sigma > 0 then cfg.sweep_sigma else max 4 (cfg.sigma / 4));
+      client_rho = (if cfg.client_rho > 0. then cfg.client_rho else cfg.rho);
+      client_sigma =
+        (if cfg.client_sigma > 0 then cfg.client_sigma else cfg.sigma);
+      sweep_shards =
+        (if cfg.sweep_shards > 0 then cfg.sweep_shards else cfg.workers);
+      client_buckets_max = max 1 cfg.client_buckets_max;
+    }
+  in
+  (* Writes to half-closed keep-alive sockets must surface as EPIPE,
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let queue_cap = if cfg.queue_capacity <= 0 then cfg.sigma else cfg.queue_capacity in
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
@@ -853,7 +1394,7 @@ let start ?(registry = Registry.create ()) ?(figures = []) cfg =
         with Failure _ -> invalid_arg ("Server.start: bad host " ^ cfg.host)
       in
       Unix.bind listen_fd (Unix.ADDR_INET (addr, cfg.port));
-      Unix.listen listen_fd 128;
+      Unix.listen listen_fd 511;
       Unix.set_nonblock listen_fd;
       let bound_port =
         match Unix.getsockname listen_fd with
@@ -864,22 +1405,37 @@ let start ?(registry = Registry.create ()) ?(figures = []) cfg =
       Unix.set_nonblock wake_r;
       Unix.set_nonblock wake_w;
       let metrics = Metrics.create () in
+      let now_mono = cfg.clock in
       {
         cfg;
         registry;
         figures;
         listen_fd;
         bound_port;
-        bucket = Bucket.create ~rho:cfg.rho ~sigma:cfg.sigma ();
-        queue = Queue.create ();
+        now_mono;
+        bucket = Bucket.create ~now:now_mono ~rho:cfg.rho ~sigma:cfg.sigma ();
+        sweep_bucket =
+          Bucket.create ~now:now_mono ~rho:cfg.sweep_rho ~sigma:cfg.sweep_sigma
+            ();
+        client_buckets =
+          Bucket.Keyed.create ~now:now_mono ~max_entries:cfg.client_buckets_max
+            ~rho:cfg.client_rho ~sigma:cfg.client_sigma ();
+        client_key_header = String.lowercase_ascii cfg.client_key_header;
+        jobs = Queue.create ();
         qlock = Mutex.create ();
         qcond = Condition.create ();
         draining = false;
         queue_cap;
+        comps = Queue.create ();
+        comp_lock = Mutex.create ();
         stop_flag = Atomic.make false;
         stopped_flag = Atomic.make false;
         wake_r;
         wake_w;
+        conns = Hashtbl.create 256;
+        by_fd = Hashtbl.create 256;
+        wheel = Timewheel.create ~slots:1024 ~tick:0.05 ~now:(now_mono ()) ();
+        rbuf = Bytes.create 16384;
         metrics;
         m = make_handles metrics;
         cache = Cache.create ~dir:(Filename.concat cfg.campaign_dir "cache");
@@ -890,17 +1446,22 @@ let start ?(registry = Registry.create ()) ?(figures = []) cfg =
         flock = Mutex.create ();
         base_rng = Prng.create 0x53455256;
         worker_domains = [];
-        accept_domain = None;
+        loop_domain = None;
+        next_conn_id = 0;
       }
     with e ->
       close_quietly listen_fd;
       raise e
   in
   t.worker_domains <- List.init cfg.workers (fun i -> Domain.spawn (worker_loop t i));
-  t.accept_domain <- Some (Domain.spawn (accept_loop t));
+  t.loop_domain <- Some (Domain.spawn (event_loop t));
   if not cfg.quiet then
-    Printf.printf "serve: listening on %s:%d (workers=%d rho=%g sigma=%d queue=%d)\n%!"
-      cfg.host t.bound_port cfg.workers cfg.rho cfg.sigma queue_cap;
+    Printf.printf
+      "serve: listening on %s:%d (workers=%d rho=%g sigma=%d queue=%d \
+       max_conns=%d pipeline=%d)\n\
+       %!"
+      cfg.host t.bound_port cfg.workers cfg.rho cfg.sigma queue_cap
+      cfg.max_conns cfg.max_pipeline;
   t
 
 let request_stop t =
@@ -914,9 +1475,9 @@ let wait t =
   while not (Atomic.get t.stopped_flag) do
     Unix.sleepf 0.05
   done;
-  match t.accept_domain with
+  match t.loop_domain with
   | Some d ->
-      t.accept_domain <- None;
+      t.loop_domain <- None;
       Domain.join d
   | None -> ()
 

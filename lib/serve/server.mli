@@ -5,10 +5,21 @@
     Prometheus metrics and health.  The serving discipline is the
     theory it simulates:
 
-    - {b Admission} is a (ρ,σ)-token bucket ({!Bucket}): the admitted
-      request stream is rate-bounded exactly like the paper's (w,r)
-      adversary, and everything beyond the budget is shed immediately
-      with [429] — never queued.
+    - {b Connections} are multiplexed by a single poll(2) event-loop
+      domain ({!Evpoll}): persistent keep-alive connections with
+      HTTP/1.1 pipelining, nonblocking incremental parsing
+      ({!Http.Parser}), and per-connection deadlines tracked on a
+      hashed timer wheel ({!Timewheel}).  Pipelined responses leave in
+      request order; read interest is dropped once [max_pipeline]
+      requests are outstanding, which is TCP backpressure on the peer.
+    - {b Admission} is layered (ρ,σ)-token buckets ({!Bucket}): a
+      per-client bucket (keyed by peer address, or by a configured
+      header, with LRU eviction of idle keys) bounds any single peer,
+      then a per-endpoint bucket bounds the aggregate — [/sweep] has
+      its own smaller bucket so grid computations cannot starve cheap
+      endpoints.  The admitted stream is rate-bounded exactly like the
+      paper's (w,r) adversary; everything beyond the budget is shed
+      immediately with [429] — never queued.
     - {b Queueing} is bounded: admitted requests enter a queue of
       capacity σ feeding a fixed pool of worker domains (one greedy
       "link" each, in the paper's one-packet-per-step discipline);
@@ -17,12 +28,15 @@
       same argument as Theorem 4.1's dwell bound.
     - {b Results} are content-addressed: sweep and experiment
       responses are keyed by {!Aqt_harness.Spec.hash} into
-      {!Aqt_harness.Cache}, shared with the campaign harness, so a
-      repeated query is a cache hit and never recomputes.
+      {!Aqt_harness.Cache}, shared with the campaign harness; a cache
+      hit refreshes the entry ({!Aqt_harness.Cache.touch}) so trim
+      evicts least-recently-used results.  [/sweep] grid cells shard
+      across domains with {!Aqt_util.Parallel.map}.
     - {b Observability}: a {!Metrics} registry exported at
-      [/metrics], periodically journalled as
-      {!Aqt_harness.Journal.Snapshot} events, and an optional
-      {!Aqt_harness.Cache.trim} sweep keeping the cache bounded.
+      [/metrics] (request latency quantiles up to p999), periodically
+      journalled as {!Aqt_harness.Journal.Snapshot} events, and an
+      optional {!Aqt_harness.Cache.trim} sweep keeping the cache
+      bounded.
 
     Endpoints: [/healthz], [/metrics], [/sweep] (GET query or POST
     JSON body), [/experiment/<name>], [/figure/<id>] (SVG),
@@ -30,19 +44,19 @@
     {!Aqt_util.Prng.stream}), [/].
 
     Graceful shutdown ({!stop}, or {!request_stop} from a signal
-    handler): stop accepting, reject new work, drain the queue and
-    in-flight requests (bounded by the socket deadlines), write a
-    final metrics snapshot, flush and close the journal. *)
+    handler): close the listener, stop reading, let in-flight work
+    finish and its responses flush (bounded by a grace period), write
+    a final metrics snapshot, flush and close the journal. *)
 
 type config = {
   host : string;  (** Bind address, default ["127.0.0.1"]. *)
   port : int;  (** 0 picks an ephemeral port (see {!port}). *)
   workers : int;  (** Worker domains. *)
-  rho : float;  (** Admission rate, requests/second. *)
+  rho : float;  (** Default endpoint admission rate, requests/second. *)
   sigma : int;  (** Burst budget = bucket depth = queue capacity cap. *)
   queue_capacity : int;  (** [<= 0] means σ. *)
-  read_timeout : float;  (** Per-request read deadline, seconds. *)
-  write_timeout : float;  (** Per-response write deadline, seconds. *)
+  read_timeout : float;  (** Mid-request read deadline, seconds. *)
+  write_timeout : float;  (** Response write-progress deadline, seconds. *)
   campaign_dir : string;  (** Cache + journal root, shared with campaigns. *)
   salt : string;  (** Cache-key code salt ({!Aqt_harness.Campaign}). *)
   snapshot_every : float;  (** Metrics journal period; [<= 0] disables. *)
@@ -51,11 +65,36 @@ type config = {
       (** When set, {!Aqt_harness.Cache.trim} runs on every snapshot
           tick so the daemon's cache cannot grow unboundedly. *)
   quiet : bool;
+  sweep_rho : float;  (** [/sweep] endpoint rate; [<= 0] means [rho / 10]. *)
+  sweep_sigma : int;  (** [/sweep] burst; [<= 0] means [max 4 (sigma / 4)]. *)
+  client_rho : float;  (** Per-client rate; [<= 0] means [rho]. *)
+  client_sigma : int;  (** Per-client burst; [<= 0] means [sigma]. *)
+  client_buckets_max : int;
+      (** Bound on live per-client buckets; the least-recently-used
+          idle bucket is evicted beyond this. *)
+  client_key_header : string;
+      (** Header naming the client key (e.g. ["x-client-id"]);
+          [""] keys on the peer address. *)
+  max_conns : int;  (** Connection cap; excess accepts get [503]. *)
+  max_pipeline : int;
+      (** Outstanding pipelined requests per connection before the
+          event loop stops reading from it. *)
+  idle_timeout : float;  (** Idle keep-alive connection expiry, seconds. *)
+  sweep_shards : int;
+      (** Domains used to shard one sweep grid; [<= 0] means
+          [workers]. *)
+  clock : unit -> float;
+      (** Monotonic time source for deadlines, latency and bucket
+          refill — {!Clock.monotonic} by default; substitutable for
+          deterministic tests.  Wall-clock time is used only for
+          journal timestamps. *)
 }
 
 val default_config : config
 (** Loopback:8080, workers = cores-2 (min 2), ρ = 50 req/s, σ = 32,
-    5 s deadlines, [_campaign] state dir, 10 s snapshots. *)
+    5 s read/write deadlines, 30 s idle timeout, 4096 connections,
+    pipeline depth 8, [_campaign] state dir, 10 s snapshots, derived
+    sweep/client buckets (see the field docs). *)
 
 type t
 
@@ -65,8 +104,9 @@ val start :
   config ->
   t
 (** Bind, spawn the worker pool (worker [i] gets PRNG stream
-    [Prng.stream base i]) and the accept loop, and return immediately.
-    [registry] backs [/experiment/]; [figures] backs [/figure/].
+    [Prng.stream base i]) and the event-loop domain, and return
+    immediately.  [registry] backs [/experiment/]; [figures] backs
+    [/figure/].
     @raise Invalid_argument on a bad config;
     @raise Unix.Unix_error if the port cannot be bound. *)
 
@@ -81,7 +121,7 @@ val request_stop : t -> unit
 
 val wait : t -> unit
 (** Block until shutdown completes (polling, so signal handlers keep
-    running in the calling thread), then join the server's domains. *)
+    running in the calling thread), then join the event-loop domain. *)
 
 val stop : t -> unit
 (** [request_stop] then [wait]. *)

@@ -1,0 +1,65 @@
+type 'a entry = { deadline : float; payload : 'a }
+
+type 'a t = {
+  slots : 'a entry list array;
+  tick : float;
+  mutable hand : float; (* absolute time the hand has swept up to *)
+  mutable count : int;
+}
+
+let create ?(slots = 512) ~tick ~now () =
+  if tick <= 0. then invalid_arg "Timewheel.create: tick must be positive";
+  if slots < 2 then invalid_arg "Timewheel.create: need at least 2 slots";
+  { slots = Array.make slots []; tick; hand = now; count = 0 }
+
+let slot_of t time =
+  let i = int_of_float (Float.floor (time /. t.tick)) in
+  ((i mod Array.length t.slots) + Array.length t.slots) mod Array.length t.slots
+
+let span t = float_of_int (Array.length t.slots) *. t.tick
+
+let add t ~deadline payload =
+  (* Far-future deadlines would alias onto a near slot; park them one
+     revolution out and let advance recirculate them. *)
+  let filed =
+    if deadline > t.hand +. span t then t.hand +. span t -. t.tick
+    else Float.max deadline t.hand
+  in
+  let s = slot_of t filed in
+  t.slots.(s) <- { deadline; payload } :: t.slots.(s);
+  t.count <- t.count + 1
+
+let advance t ~now fire =
+  if now > t.hand then begin
+    let nslots = Array.length t.slots in
+    let from_slot = slot_of t t.hand in
+    let ticks = int_of_float ((now -. t.hand) /. t.tick) + 1 in
+    let steps = min ticks nslots in
+    for k = 0 to steps - 1 do
+      let s = (from_slot + k) mod nslots in
+      let entries = t.slots.(s) in
+      if entries <> [] then begin
+        t.slots.(s) <- [];
+        List.iter
+          (fun e ->
+            if e.deadline <= now then begin
+              t.count <- t.count - 1;
+              fire e.payload
+            end
+            else begin
+              (* Crossed the slot early (or recirculating): re-file
+                 relative to the new hand position. *)
+              let filed =
+                if e.deadline > now +. span t then now +. span t -. t.tick
+                else e.deadline
+              in
+              let s' = slot_of t filed in
+              t.slots.(s') <- e :: t.slots.(s')
+            end)
+          entries
+      end
+    done;
+    t.hand <- now
+  end
+
+let pending t = t.count

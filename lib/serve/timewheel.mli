@@ -1,0 +1,36 @@
+(** Hashed timer wheel for connection deadlines.
+
+    The event loop tracks one deadline per connection (idle, header,
+    body or write, whichever applies to its current state) for thousands
+    of connections, and deadlines are rescheduled on every state change.
+    A sorted structure would pay O(log n) per reschedule; the wheel pays
+    O(1) by filing each entry in the slot [deadline / tick mod slots]
+    and only looking at slots the clock hand actually crosses.
+
+    Cancellation is lazy: entries are never removed, the caller instead
+    revalidates each expired payload (e.g. against a per-connection
+    generation counter) and discards stale ones.  Deadlines further out
+    than one wheel revolution recirculate until they come into range. *)
+
+type 'a t
+
+val create : ?slots:int -> tick:float -> now:float -> unit -> 'a t
+(** [create ~tick ~now ()] starts the wheel's hand at [now].  [tick] is
+    the slot granularity in seconds — deadlines fire up to one tick
+    late.  [slots] (default 512) spans [slots * tick] seconds per
+    revolution.
+    @raise Invalid_argument if [tick <= 0.] or [slots < 2]. *)
+
+val add : 'a t -> deadline:float -> 'a -> unit
+(** File [payload] to fire once the hand passes [deadline].  A deadline
+    at or before the hand fires on the next {!advance}. *)
+
+val advance : 'a t -> now:float -> ('a -> unit) -> unit
+(** Move the hand forward to [now], calling the callback on every entry
+    whose deadline has passed, in no particular order.  Entries filed in
+    a crossed slot but not yet due are re-filed.  Time moving backwards
+    is ignored (the hand never retreats). *)
+
+val pending : 'a t -> int
+(** Entries currently filed, including stale ones awaiting lazy
+    discard. *)

@@ -658,6 +658,386 @@ let serve_journal_snapshot () =
           check_bool "request counter in snapshot" true
             (List.assoc_opt "serve_requests_total" values = Some 1.))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental parser: pipelined requests, arbitrary chunk boundaries  *)
+(* ------------------------------------------------------------------ *)
+
+(* Whatever the read boundaries, a pipelined byte stream must parse
+   into exactly the requests that were encoded, in order. *)
+let parser_chunking_qcheck =
+  QCheck.Test.make ~name:"pipelined parse is chunking-invariant" ~count:200
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 5)
+          (QCheck.pair (QCheck.int_range 0 3) (QCheck.int_range 0 60)))
+       (QCheck.list (QCheck.int_range 1 13)))
+    (fun (specs, cuts) ->
+      let reqs =
+        List.mapi
+          (fun i (kind, n) ->
+            let path = Printf.sprintf "/p%d?i=%d" kind i in
+            match kind with
+            | 0 -> ("GET", path, None, [])
+            | 1 -> ("POST", path, Some (String.make n 'b'), [])
+            | 2 -> ("GET", path, None, [ ("x-pad", String.make n 'x') ])
+            | _ -> ("HEAD", path, None, []))
+          specs
+      in
+      let wire =
+        String.concat ""
+          (List.map
+             (fun (meth, path, body, req_headers) ->
+               Http.encode_request ~meth ~req_headers ?body path)
+             reqs)
+      in
+      let p = Http.Parser.create () in
+      let parsed = ref [] in
+      let drain () =
+        let continue = ref true in
+        while !continue do
+          match Http.Parser.next p with
+          | `Request r -> parsed := r :: !parsed
+          | `Await -> continue := false
+          | `Error e ->
+              QCheck.Test.fail_reportf "parse error: %s"
+                (Http.error_to_string e)
+        done
+      in
+      let cuts = if cuts = [] then [ 1 ] else cuts in
+      let pos = ref 0 and ci = ref 0 in
+      while !pos < String.length wire do
+        let len =
+          min (List.nth cuts (!ci mod List.length cuts))
+            (String.length wire - !pos)
+        in
+        Http.Parser.feed_string p (String.sub wire !pos len);
+        pos := !pos + len;
+        incr ci;
+        drain ()
+      done;
+      let parsed = List.rev !parsed in
+      List.length parsed = List.length reqs
+      && List.for_all2
+           (fun (meth, _, body, _) (r : Http.request) ->
+             r.Http.meth = meth
+             && r.Http.body = Option.value body ~default:""
+             && String.starts_with ~prefix:"/p" r.Http.path)
+           reqs parsed)
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel (fake clock)                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Timewheel = Aqt_serve.Timewheel
+
+let timewheel_fires_by_deadline () =
+  let w = Timewheel.create ~slots:16 ~tick:0.1 ~now:0. () in
+  Timewheel.add w ~deadline:0.25 "late";
+  Timewheel.add w ~deadline:0.05 "early";
+  Timewheel.add w ~deadline:10.0 "far";
+  check_int "three pending" 3 (Timewheel.pending w);
+  let fired = ref [] in
+  let adv now = Timewheel.advance w ~now (fun x -> fired := x :: !fired) in
+  adv 0.1;
+  check_bool "only the early deadline fired" true (!fired = [ "early" ]);
+  adv 0.3;
+  check_bool "then the late one" true (!fired = [ "late"; "early" ]);
+  (* An entry beyond the wheel's span recirculates until its time. *)
+  adv 9.9;
+  check_bool "far future not fired early" false (List.mem "far" !fired);
+  check_int "still parked" 1 (Timewheel.pending w);
+  adv 10.1;
+  check_bool "fires once due" true (List.mem "far" !fired);
+  check_int "empty" 0 (Timewheel.pending w)
+
+let timewheel_same_slot_order () =
+  let w = Timewheel.create ~slots:8 ~tick:1.0 ~now:0. () in
+  for i = 1 to 20 do
+    Timewheel.add w ~deadline:(float_of_int i *. 0.049) i
+  done;
+  let fired = ref [] in
+  Timewheel.advance w ~now:0.5 (fun x -> fired := x :: !fired);
+  check_int "partial batch" 10 (List.length !fired);
+  Timewheel.advance w ~now:2.0 (fun x -> fired := x :: !fired);
+  check_int "the rest" 20 (List.length !fired);
+  check_int "nothing pending" 0 (Timewheel.pending w)
+
+(* ------------------------------------------------------------------ *)
+(* Keyed buckets: per-client isolation and LRU eviction (fake clock)   *)
+(* ------------------------------------------------------------------ *)
+
+let keyed_bucket_isolation () =
+  let now = ref 0. in
+  let kb = Bucket.Keyed.create ~now:(fun () -> !now) ~rho:1. ~sigma:2 () in
+  check_bool "a bursts sigma" true
+    (Bucket.Keyed.try_take kb "a" && Bucket.Keyed.try_take kb "a");
+  check_bool "a exhausted" false (Bucket.Keyed.try_take kb "a");
+  check_bool "b unaffected by a's exhaustion" true
+    (Bucket.Keyed.try_take kb "b" && Bucket.Keyed.try_take kb "b");
+  check_bool "b exhausted independently" false (Bucket.Keyed.try_take kb "b");
+  now := 1.;
+  check_bool "a refills at rho" true (Bucket.Keyed.try_take kb "a");
+  check_bool "one token only" false (Bucket.Keyed.try_take kb "a");
+  check_int "two live keys" 2 (Bucket.Keyed.keys kb)
+
+let keyed_bucket_lru_eviction () =
+  let now = ref 0. in
+  let kb =
+    Bucket.Keyed.create ~now:(fun () -> !now) ~max_entries:2 ~rho:0.001
+      ~sigma:1 ()
+  in
+  ignore (Bucket.Keyed.try_take kb "a");
+  now := 1.;
+  ignore (Bucket.Keyed.try_take kb "b");
+  now := 2.;
+  check_bool "a exhausted (and freshly used)" false
+    (Bucket.Keyed.try_take kb "a");
+  now := 3.;
+  (* Table is full: c's arrival evicts the least-recently-used key, b. *)
+  check_bool "c admitted into a fresh bucket" true
+    (Bucket.Keyed.try_take kb "c");
+  check_int "bounded at max_entries" 2 (Bucket.Keyed.keys kb);
+  now := 4.;
+  check_bool "a survived that eviction: still exhausted" false
+    (Bucket.Keyed.try_take kb "a");
+  now := 5.;
+  check_bool "c spent its only token" false (Bucket.Keyed.try_take kb "c");
+  now := 6.;
+  (* b's return is itself an insertion into a full table, evicting the
+     least-recently-used of {a, c} — a.  Forgetting a's debt is the
+     price of keeping the table bounded. *)
+  check_bool "b was evicted: returns with a full bucket" true
+    (Bucket.Keyed.try_take kb "b");
+  now := 7.;
+  check_bool "a's eviction reset its debt" true (Bucket.Keyed.try_take kb "a");
+  check_int "still bounded" 2 (Bucket.Keyed.keys kb)
+
+(* ------------------------------------------------------------------ *)
+(* Keep-alive and pipelining against a live daemon                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Three requests written back to back in one burst; three responses
+   must come back in order on the same connection, which stays open for
+   a fourth. *)
+let serve_pipelined_burst () =
+  with_server (fun srv ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> close_quietly fd)
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 8.;
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+          (* No HEAD here: a HEAD response carries Content-Length with no
+             body, which a generic response parser cannot re-frame. *)
+          let wire =
+            Http.encode_request "/healthz"
+            ^ Http.encode_request "/"
+            ^ Http.encode_request "/nope"
+          in
+          ignore (Unix.write_substring fd wire 0 (String.length wire));
+          let rp = Http.Rparser.create () in
+          let buf = Bytes.create 4096 in
+          let responses = ref [] in
+          let deadline = Unix.gettimeofday () +. 8. in
+          while
+            List.length !responses < 3 && Unix.gettimeofday () < deadline
+          do
+            (match Unix.read fd buf 0 4096 with
+            | 0 -> Alcotest.fail "server closed a keep-alive connection"
+            | n -> Http.Rparser.feed rp buf 0 n
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                ());
+            let continue = ref true in
+            while !continue do
+              match Http.Rparser.next rp with
+              | `Response r -> responses := r :: !responses
+              | `Await -> continue := false
+              | `Error e ->
+                  Alcotest.failf "response parse: %s" (Http.error_to_string e)
+            done
+          done;
+          match List.rev !responses with
+          | [ a; b; c ] ->
+              check_int "first 200" 200 a.Http.status;
+              check_string "first body in order" "ok\n" a.Http.body;
+              check_int "second 200" 200 b.Http.status;
+              check_bool "second is the index" true (contains b.Http.body "/sweep");
+              check_int "third answered in order" 404 c.Http.status;
+              check_string "third body" "not found\n" c.Http.body;
+              check_bool "keep-alive advertised" true
+                (List.assoc_opt "connection" a.Http.resp_headers
+                = Some "keep-alive");
+              (* the connection is still usable *)
+              let wire = Http.encode_request "/healthz" in
+              ignore (Unix.write_substring fd wire 0 (String.length wire));
+              let rec read_one () =
+                match Http.Rparser.next rp with
+                | `Response r -> r
+                | `Await ->
+                    (match Unix.read fd buf 0 4096 with
+                    | 0 -> Alcotest.fail "closed before fourth response"
+                    | n -> Http.Rparser.feed rp buf 0 n);
+                    read_one ()
+                | `Error e ->
+                    Alcotest.failf "fourth response: %s"
+                      (Http.error_to_string e)
+              in
+              check_int "fourth request on the same connection" 200
+                (read_one ()).Http.status
+          | l -> Alcotest.failf "expected 3 responses, got %d" (List.length l)))
+
+let serve_client_reuse_counts_one_conn () =
+  with_server (fun srv ->
+      let m = Server.metrics srv in
+      let conns = Metrics.counter m "serve_connections_total" in
+      let before = Metrics.counter_value conns in
+      (match Http.Client.connect ~port:(Server.port srv) () with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok cl ->
+          for i = 1 to 10 do
+            match Http.Client.request cl "/healthz" with
+            | Ok r -> check_int (Printf.sprintf "request %d" i) 200 r.Http.status
+            | Error e -> Alcotest.failf "request %d: %s" i e
+          done;
+          Http.Client.close cl);
+      check_int "ten requests, one accept" (before + 1)
+        (Metrics.counter_value conns))
+
+(* Per-client admission: one client's burst must not spend another's
+   budget.  Keyed on the x-client-id header so one loopback peer can
+   impersonate two clients. *)
+let serve_per_client_isolation () =
+  let srv =
+    Server.start
+      {
+        Server.default_config with
+        Server.port = 0;
+        workers = 2;
+        rho = 10_000.;
+        sigma = 100;
+        client_rho = 5.;
+        client_sigma = 2;
+        client_key_header = "x-client-id";
+        read_timeout = 2.;
+        write_timeout = 2.;
+        campaign_dir = temp_dir ();
+        snapshot_every = 0.;
+        journal = false;
+        quiet = true;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let ask id =
+        match
+          Http.request ~timeout:10. ~req_headers:[ ("x-client-id", id) ]
+            ~port:(Server.port srv) "/healthz"
+        with
+        | Ok r -> r.Http.status
+        | Error e -> Alcotest.failf "client %s: %s" id e
+      in
+      let noisy = List.init 10 (fun _ -> ask "noisy") in
+      let n s = List.length (List.filter (Int.equal s) noisy) in
+      check_bool "noisy client sheds beyond its own (rho,sigma)" true
+        (n 429 > 0 && n 200 >= 2);
+      check_int "quiet client has its own full budget" 200 (ask "quiet");
+      let m = Server.metrics srv in
+      check_bool "sheds charged to the client layer" true
+        (Metrics.counter_value
+           (Metrics.counter m "serve_shed_client_total")
+        = n 429))
+
+(* ------------------------------------------------------------------ *)
+(* Load generator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Loadgen = Aqt_serve.Loadgen
+
+(* Quantiles of the loadgen's histogram against a known distribution:
+   10k uniform samples over (0,1] interpolate to exact quantiles. *)
+let loadgen_percentiles_known_distribution () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "loadgen_request_seconds" in
+  for i = 1 to 10_000 do
+    Metrics.observe h (float_of_int i /. 10_000.)
+  done;
+  let close label expect got =
+    check_bool
+      (Printf.sprintf "%s: |%.4f - %.4f| < 0.01" label got expect)
+      true
+      (Float.abs (got -. expect) < 0.01)
+  in
+  close "p50" 0.5 (Metrics.quantile h 0.50);
+  close "p99" 0.99 (Metrics.quantile h 0.99);
+  close "p999" 0.999 (Metrics.quantile h 0.999);
+  let snap = Metrics.snapshot m in
+  check_bool "p999 series exported in snapshots" true
+    (List.mem_assoc "loadgen_request_seconds_p999" snap)
+
+let loadgen_closed_loop_smoke () =
+  with_server ~rho:1_000_000. ~sigma:1000 (fun srv ->
+      let r =
+        Loadgen.run
+          {
+            Loadgen.default_config with
+            Loadgen.port = Server.port srv;
+            conns = 8;
+            requests = 2_000;
+            pipeline = 4;
+          }
+      in
+      check_int "every request completed" 2_000 r.Loadgen.completed;
+      check_int "no errors" 0 r.Loadgen.errors;
+      check_int "all admitted under a huge budget" 2_000 r.Loadgen.ok;
+      check_bool "quantiles ordered" true
+        (r.Loadgen.p50 <= r.Loadgen.p99 && r.Loadgen.p99 <= r.Loadgen.p999);
+      check_bool "throughput positive" true (r.Loadgen.throughput > 0.);
+      check_bool "histogram counted every response" true
+        (Metrics.histogram_count
+           (Metrics.histogram r.Loadgen.metrics "loadgen_request_seconds")
+        = 2_000))
+
+let loadgen_open_loop_smoke () =
+  with_server ~rho:1_000_000. ~sigma:1000 (fun srv ->
+      let r =
+        Loadgen.run
+          {
+            Loadgen.default_config with
+            Loadgen.port = Server.port srv;
+            conns = 8;
+            requests = 600;
+            mode = Loadgen.Open 2_000.;
+          }
+      in
+      check_int "every scheduled request completed" 600 r.Loadgen.completed;
+      check_int "no errors" 0 r.Loadgen.errors;
+      (* 600 requests at 2000/s is ~0.3s of schedule *)
+      check_bool "duration tracks the schedule" true
+        (r.Loadgen.duration >= 0.25 && r.Loadgen.duration < 10.))
+
+let loadgen_report_formats () =
+  with_server ~rho:1_000_000. ~sigma:1000 (fun srv ->
+      let r =
+        Loadgen.run
+          {
+            Loadgen.default_config with
+            Loadgen.port = Server.port srv;
+            conns = 2;
+            requests = 50;
+          }
+      in
+      let csv = Loadgen.result_csv r in
+      List.iter
+        (fun key -> check_bool ("csv has " ^ key) true (contains csv key))
+        [ "completed"; "throughput_rps"; "p50_s"; "p99_s"; "p999_s"; "shed" ];
+      match Loadgen.result_json r with
+      | Jsonx.Obj fields ->
+          check_bool "json has quantiles" true
+            (List.mem_assoc "p999" fields && List.mem_assoc "completed" fields)
+      | _ -> Alcotest.fail "result_json should be an object")
+
 let () =
   Alcotest.run "aqt_serve"
     [
@@ -672,12 +1052,23 @@ let () =
           Alcotest.test_case "size limits" `Quick http_limits;
           Alcotest.test_case "closed peer" `Quick http_closed;
           Alcotest.test_case "response writing" `Quick http_write_response;
+          QCheck_alcotest.to_alcotest parser_chunking_qcheck;
+        ] );
+      ( "timewheel",
+        [
+          Alcotest.test_case "fires by deadline" `Quick
+            timewheel_fires_by_deadline;
+          Alcotest.test_case "same-slot batching" `Quick
+            timewheel_same_slot_order;
         ] );
       ( "bucket",
         [
           Alcotest.test_case "burst then refill" `Quick bucket_burst_then_refill;
           Alcotest.test_case "(rho,sigma) bound" `Quick bucket_rate_bound;
           Alcotest.test_case "validation" `Quick bucket_validation;
+          Alcotest.test_case "keyed isolation" `Quick keyed_bucket_isolation;
+          Alcotest.test_case "keyed LRU eviction" `Quick
+            keyed_bucket_lru_eviction;
         ] );
       ( "metrics",
         [
@@ -704,5 +1095,20 @@ let () =
           Alcotest.test_case "malformed fuzz" `Quick serve_malformed_fuzz;
           Alcotest.test_case "graceful drain" `Quick serve_graceful_drain;
           Alcotest.test_case "journal snapshot" `Quick serve_journal_snapshot;
+          Alcotest.test_case "pipelined burst in order" `Quick
+            serve_pipelined_burst;
+          Alcotest.test_case "keep-alive reuse" `Quick
+            serve_client_reuse_counts_one_conn;
+          Alcotest.test_case "per-client isolation" `Quick
+            serve_per_client_isolation;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "percentiles vs known distribution" `Quick
+            loadgen_percentiles_known_distribution;
+          Alcotest.test_case "closed-loop smoke" `Quick
+            loadgen_closed_loop_smoke;
+          Alcotest.test_case "open-loop smoke" `Quick loadgen_open_loop_smoke;
+          Alcotest.test_case "report formats" `Quick loadgen_report_formats;
         ] );
     ]
