@@ -37,6 +37,12 @@ let try_take t =
   Mutex.unlock t.lock;
   ok
 
+let refund t =
+  Mutex.lock t.lock;
+  refill t;
+  t.tokens <- Float.min (float_of_int t.sigma_) (t.tokens +. 1.);
+  Mutex.unlock t.lock
+
 let level t =
   Mutex.lock t.lock;
   refill t;
@@ -52,6 +58,7 @@ module Keyed = struct
 
   let bucket_create = create
   let bucket_try_take = try_take
+  let bucket_refund = refund
   let bucket_level = level
 
   type slot = {
@@ -119,6 +126,12 @@ module Keyed = struct
     slot.last_used <- t.now ();
     Mutex.unlock t.lock;
     bucket_try_take slot.b
+
+  let refund t key =
+    Mutex.lock t.lock;
+    let s = Hashtbl.find_opt t.tbl key in
+    Mutex.unlock t.lock;
+    match s with Some s -> bucket_refund s.b | None -> ()
 
   let keys t =
     Mutex.lock t.lock;

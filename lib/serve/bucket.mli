@@ -29,6 +29,11 @@ val create : ?now:(unit -> float) -> rho:float -> sigma:int -> unit -> t
 val try_take : t -> bool
 (** Admit one request if a token is available; never blocks. *)
 
+val refund : t -> unit
+(** Return one token taken by {!try_take}, capped at [σ].  Used when a
+    later admission layer sheds a request this bucket already admitted,
+    so passing one gate but not the other costs nothing. *)
+
 val level : t -> float
 (** Current token count (after refill); for metrics export. *)
 
@@ -61,6 +66,10 @@ module Keyed : sig
   val try_take : t -> string -> bool
   (** Admit one request for [key], creating (possibly evicting) as
       needed; never blocks. *)
+
+  val refund : t -> string -> unit
+  (** Return one token to [key]'s bucket, capped at [σ]; a no-op when
+      the key is not live (evicted between take and refund). *)
 
   val keys : t -> int
   (** Live keys; for metrics export. *)

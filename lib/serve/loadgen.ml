@@ -232,8 +232,13 @@ let on_readable st rbuf i c =
   while !continue && !budget > 0 && c.alive do
     match Unix.read c.fd rbuf 0 (Bytes.length rbuf) with
     | 0 ->
-        (* Server closed (drain, idle expiry, or a close-after 503). *)
+        (* Server closed (drain, idle expiry, or a close-after 503).
+           Responses delivered in the same readable burst as the FIN —
+           typical for Connection: close answers — are still buffered in
+           the parser: count them before charging the remainder as
+           errors. *)
         continue := false;
+        drain_responses st i c;
         kill_conn st i c
     | n ->
         budget := !budget - n;
@@ -537,6 +542,14 @@ let fresh_dir () =
   in
   go 0
 
+(* Fast-path endpoints (/healthz) bypass admission, so the envelope
+   under test must be driven through a dispatched endpoint: a tiny
+   seeded /simulate is the cheapest admitted request.  Sheds answer 429
+   inline without touching the worker pool, so only the ~rho*T admitted
+   requests actually compute. *)
+let admitted_path =
+  "/simulate?network=ring:4&policy=fifo&rate=1/4&horizon=60&seed=1"
+
 (* Spin a private server, drive it closed-loop well past its (rho,sigma)
    budget, and check the admitted stream obeys the envelope while the
    answered tail stays bounded.  [requests] and [conns] scale from a
@@ -574,6 +587,7 @@ let selftest ?(quiet = false) ?(requests = 20_000) ?(conns = 64)
         conns;
         requests;
         pipeline = 8;
+        paths = [ (1, admitted_path) ];
         quiet;
       }
   in

@@ -34,6 +34,11 @@ let count x statuses = List.length (List.filter (Int.equal x) statuses)
 let sweep_path =
   "/sweep?network=ring:6&d=3&horizon=400&rates=1/4&policy=fifo"
 
+(* The cheapest admitted request: /healthz is fast-path (bypasses
+   admission entirely), so every phase that exercises the buckets
+   drives a tiny seeded /simulate through the worker pool instead. *)
+let sim_path = "/simulate?network=ring:6&policy=fifo&rate=1/4&horizon=200&seed=5"
+
 let cached_field body =
   match Jsonx.member "cached" (Jsonx.of_string body) with
   | Some (Jsonx.Bool b) -> Some b
@@ -81,7 +86,7 @@ let run ?(quiet = false) () =
 
   (* Phase 1: aggregate client rate ~160/s < rho = 200/s, burst 4 <= sigma:
      an admissible workload must never be shed. *)
-  let statuses = fire ~pause:0.025 ~clients:4 ~each:20 ~port "/healthz" in
+  let statuses = fire ~pause:0.025 ~clients:4 ~each:20 ~port sim_path in
   let total = List.length statuses in
   let ok200 = count 200 statuses in
   phase "admissible" (ok200 = total)
@@ -117,7 +122,7 @@ let run ?(quiet = false) () =
   (* Phase 2: fire at roughly twice the (rho,sigma) budget: bounded shedding,
      every request still gets an answer, queue depth never exceeds sigma. *)
   Unix.sleepf 0.3 (* let the bucket refill to sigma *);
-  let statuses = fire ~clients:4 ~each:60 ~port "/healthz" in
+  let statuses = fire ~clients:4 ~each:60 ~port sim_path in
   let total = List.length statuses in
   let ok200 = count 200 statuses in
   let shed429 = count 429 statuses in
@@ -149,8 +154,9 @@ let run ?(quiet = false) () =
        hit_delta);
 
   (* Phase 3b: hammer /sweep past its own (smaller) endpoint bucket while
-     trickling /healthz within the default budget: the sweep class must
-     shed and the cheap endpoint must not notice. *)
+     trickling the default-bucket /simulate within budget and /healthz on
+     the fast path: the sweep class must shed, the cheap admitted
+     endpoint must not notice, and liveness must stay untouched. *)
   Unix.sleepf 0.3 (* refill both endpoint buckets *);
   let sweeper =
     Domain.spawn (fun () ->
@@ -169,14 +175,27 @@ let run ?(quiet = false) () =
             Http.Client.close cl;
             (!answered, !shed))
   in
-  let hz = fire ~pause:0.015 ~clients:1 ~each:15 ~port "/healthz" in
+  let trickle path =
+    Domain.spawn (fun () ->
+        List.init 15 (fun _ ->
+            Unix.sleepf 0.015;
+            match Http.request ~timeout:10. ~port path with
+            | Ok r -> r.Http.status
+            | Error _ -> -1))
+  in
+  let hz_d = trickle "/healthz" and sim_d = trickle sim_path in
+  let hz = Domain.join hz_d and sim = Domain.join sim_d in
   let sweep_answered, sweep_shed = Domain.join sweeper in
-  let hz_ok = count 200 hz in
+  let hz_ok = count 200 hz and sim_ok = count 200 sim in
   phase "isolation"
-    (sweep_answered = 30 && sweep_shed > 0 && hz_ok = List.length hz)
+    (sweep_answered = 30 && sweep_shed > 0
+    && hz_ok = List.length hz
+    && sim_ok = List.length sim)
     (Printf.sprintf
-       "/sweep: %d/30 answered, %d x 429; concurrent /healthz %d/%d x 200"
-       sweep_answered sweep_shed hz_ok (List.length hz));
+       "/sweep: %d/30 answered, %d x 429; concurrent /simulate %d/%d and \
+        /healthz %d/%d x 200"
+       sweep_answered sweep_shed sim_ok (List.length sim) hz_ok
+       (List.length hz));
 
   (* Phase 4: request stop while requests are in flight; each must still be
      answered in full and shutdown must drain. *)

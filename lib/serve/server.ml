@@ -773,8 +773,11 @@ let route t rng (req : Http.request) =
           | Some _ -> text ~status:405 "method not allowed\n"
           | None -> text ~status:404 "not found\n"))
 
-(* The event loop answers these inline; everything else goes to the
-   worker pool.  They are cheap, allocation-light and never block. *)
+(* The event loop answers these inline, bypassing admission entirely;
+   everything else passes the buckets and goes to the worker pool.
+   They are cheap, allocation-light and never block — and a liveness
+   probe that sheds under load gets a healthy daemon killed by its
+   orchestrator. *)
 let fast_path = function "/healthz" | "/metrics" | "/" -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -908,8 +911,16 @@ let make_resp t ~seq ~arrival ~head ~keep (o : out) =
 
 (* Two layers, both (rho,sigma) buckets: the per-client bucket bounds
    any single peer, then the per-endpoint bucket bounds the aggregate
-   into the handler class.  /sweep has its own (smaller) endpoint
-   bucket so grid computations cannot starve cheap endpoints. *)
+   into the handler class.  The expensive class (/sweep, /experiment,
+   /figure) has its own (smaller) endpoint bucket so grid computations
+   cannot starve cheap endpoints.  An endpoint-layer shed refunds the
+   client token: aggregate overload must not drain the budget of a
+   client still inside its own envelope. *)
+let expensive_class path =
+  path = "/sweep"
+  || String.starts_with ~prefix:"/experiment/" path
+  || String.starts_with ~prefix:"/figure/" path
+
 let admit t c (req : Http.request) =
   let key =
     match
@@ -926,9 +937,10 @@ let admit t c (req : Http.request) =
   end
   else
     let b =
-      if req.Http.path = "/sweep" then t.sweep_bucket else t.bucket
+      if expensive_class req.Http.path then t.sweep_bucket else t.bucket
     in
     if not (Bucket.try_take b) then begin
+      Bucket.Keyed.refund t.client_buckets key;
       Metrics.inc t.m.shed;
       Error (text ~status:429 "shed: (rho,sigma) admission budget exhausted\n")
     end
@@ -969,22 +981,23 @@ let on_request t c (req : Http.request) =
     emit t c
       (make_resp t ~seq ~arrival ~head ~keep:false
          (text ~status:503 "shutting down\n"))
+  else if fast_path req.Http.path then begin
+    (* Inline and unadmitted: liveness probes and metrics scrapes must
+       answer especially while the daemon is shedding everything else. *)
+    let o =
+      try route t t.base_rng req
+      with
+      | Bad_request msg -> text ~status:400 ("bad request: " ^ msg ^ "\n")
+      | Failure msg -> text ~status:500 ("internal error: " ^ msg ^ "\n")
+      | Invalid_argument msg ->
+          text ~status:500 ("internal error: " ^ msg ^ "\n")
+    in
+    emit t c (make_resp t ~seq ~arrival ~head ~keep o)
+  end
   else
     match admit t c req with
     | Error o -> emit t c (make_resp t ~seq ~arrival ~head ~keep o)
-    | Ok () ->
-        if fast_path req.Http.path then begin
-          let o =
-            try route t t.base_rng req
-            with
-            | Bad_request msg -> text ~status:400 ("bad request: " ^ msg ^ "\n")
-            | Failure msg -> text ~status:500 ("internal error: " ^ msg ^ "\n")
-            | Invalid_argument msg ->
-                text ~status:500 ("internal error: " ^ msg ^ "\n")
-          in
-          emit t c (make_resp t ~seq ~arrival ~head ~keep o)
-        end
-        else dispatch t c ~seq ~arrival ~head ~keep req
+    | Ok () -> dispatch t c ~seq ~arrival ~head ~keep req
 
 let paused t c = c.inflight >= t.cfg.max_pipeline
 

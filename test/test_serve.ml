@@ -500,6 +500,10 @@ let serve_simulate_seeded () =
       | Some (Jsonx.Int _) -> ()
       | _ -> Alcotest.fail "no seed reported")
 
+(* The cheapest admitted endpoint: /healthz is fast-path (bypasses
+   admission), so capacity tests drive a tiny seeded /simulate. *)
+let sim_tiny_path = "/simulate?network=ring:6&policy=fifo&rate=1/4&horizon=200&seed=3"
+
 (* Below capacity: an admissible client stream is never shed (the serving
    layer's Theorem 4.1 analogue). *)
 let serve_below_capacity () =
@@ -508,7 +512,7 @@ let serve_below_capacity () =
         List.concat_map Domain.join
           (List.init 3 (fun _ ->
                Domain.spawn (fun () ->
-                   List.init 10 (fun _ -> (get srv "/healthz").Http.status))))
+                   List.init 10 (fun _ -> (get srv sim_tiny_path).Http.status))))
       in
       check_int "every request answered 200" 30
         (List.length (List.filter (Int.equal 200) statuses)))
@@ -519,7 +523,7 @@ let serve_above_capacity () =
       let statuses =
         List.init 60 (fun _ ->
             match
-              Http.request ~timeout:10. ~port:(Server.port srv) "/healthz"
+              Http.request ~timeout:10. ~port:(Server.port srv) sim_tiny_path
             with
             | Ok r -> r.Http.status
             | Error _ -> -1)
@@ -933,7 +937,7 @@ let serve_per_client_isolation () =
       let ask id =
         match
           Http.request ~timeout:10. ~req_headers:[ ("x-client-id", id) ]
-            ~port:(Server.port srv) "/healthz"
+            ~port:(Server.port srv) sim_tiny_path
         with
         | Ok r -> r.Http.status
         | Error e -> Alcotest.failf "client %s: %s" id e
@@ -948,6 +952,60 @@ let serve_per_client_isolation () =
         (Metrics.counter_value
            (Metrics.counter m "serve_shed_client_total")
         = n 429))
+
+(* Fast-path endpoints bypass admission entirely: liveness probes and
+   metrics scrapes must answer 200 even when the buckets are drained and
+   every admitted endpoint sheds. *)
+let serve_fast_path_bypasses_admission () =
+  with_server ~rho:0.01 ~sigma:1 (fun srv ->
+      check_int "the single token admits one request" 200
+        (get srv sim_tiny_path).Http.status;
+      check_int "the drained bucket sheds the next" 429
+        (get srv sim_tiny_path).Http.status;
+      List.iter
+        (fun p ->
+          check_int (p ^ " answers 200 while shedding") 200
+            (get srv p).Http.status)
+        [ "/healthz"; "/metrics"; "/" ])
+
+(* An endpoint-layer shed must refund the client token: aggregate
+   overload does not charge a client that stayed inside its own
+   (rho,sigma) envelope. *)
+let serve_endpoint_shed_refunds_client () =
+  let srv =
+    Server.start
+      {
+        Server.default_config with
+        Server.port = 0;
+        workers = 2;
+        rho = 0.01;
+        sigma = 1;
+        client_rho = 5.;
+        client_sigma = 2;
+        read_timeout = 2.;
+        write_timeout = 2.;
+        campaign_dir = temp_dir ();
+        snapshot_every = 0.;
+        journal = false;
+        quiet = true;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let statuses =
+        List.init 4 (fun _ -> (get srv sim_tiny_path).Http.status)
+      in
+      (* One endpoint token, client_sigma = 2: without the refund the
+         client bucket would drain by request 3 and start charging the
+         client layer. *)
+      check_bool "first admitted, rest shed at the endpoint" true
+        (statuses = [ 200; 429; 429; 429 ]);
+      let m = Server.metrics srv in
+      check_int "no shed charged to the client layer" 0
+        (Metrics.counter_value (Metrics.counter m "serve_shed_client_total"));
+      check_int "all sheds charged to the endpoint bucket" 3
+        (Metrics.counter_value (Metrics.counter m "serve_shed_total")))
 
 (* ------------------------------------------------------------------ *)
 (* Load generator                                                      *)
@@ -1101,6 +1159,10 @@ let () =
             serve_client_reuse_counts_one_conn;
           Alcotest.test_case "per-client isolation" `Quick
             serve_per_client_isolation;
+          Alcotest.test_case "fast path bypasses admission" `Quick
+            serve_fast_path_bypasses_admission;
+          Alcotest.test_case "endpoint shed refunds client token" `Quick
+            serve_endpoint_shed_refunds_client;
         ] );
       ( "loadgen",
         [
