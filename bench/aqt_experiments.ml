@@ -1313,6 +1313,147 @@ let capacity_policies rb =
     burst (2 * period) burst
 
 (* ------------------------------------------------------------------ *)
+(* N1-N2: the new adversary families as stability sweeps               *)
+(* ------------------------------------------------------------------ *)
+
+module LB = Aqt_adversary.Local_burst
+module FB = Aqt_adversary.Feedback
+
+(* The two topologies both sweeps run on: a 6-ring with overlapping 3-hop
+   arcs (every edge shared by up to three routes) and the parallel-paths
+   gadget (edge-disjoint branches). *)
+let n_topologies () =
+  let r = Build.ring 6 in
+  let arc i = Array.init 3 (fun j -> r.Build.edges.((i + j) mod 6)) in
+  let p = Build.parallel_paths ~branches:3 ~hops:3 in
+  [
+    ("ring", r.Build.graph, [ arc 0; arc 2; arc 4 ]);
+    ("gadget", p.Build.graph, Array.to_list p.Build.paths);
+  ]
+
+let n1_dens = [ 3; 4; 6; 8 ]
+let n1_bursts = [ 0; 1; 2; 4; 8 ]
+
+(* N1: the (rho, sigma_e) grid of the locally bursty model
+   (arXiv:2208.09522).  One token-bucket flow per route at rate 1/den plus
+   a one-off burst of b per flow; the per-edge budgets are derived by
+   [Local_burst.budgets], and every cell's injection log is re-verified
+   against them.  Queues stay bounded across the whole grid (both graphs
+   are universally stable); sigma only shifts the transient peak, which is
+   exactly the refinement the model buys over a single global burst. *)
+let local_burst_grid rb =
+  let horizon = 2_000 in
+  let rows = ref [] in
+  List.iter
+    (fun (topo, graph, routes) ->
+      let m = D.n_edges graph in
+      List.iter
+        (fun den ->
+          List.iter
+            (fun b ->
+              let flows = List.map (fun route -> (route, b)) routes in
+              let adv =
+                LB.make ~m ~flow_rate:(Ratio.make 1 den) ~flows ~horizon ()
+              in
+              let net =
+                Network.create ~log_injections:true ~graph
+                  ~policy:Policies.fifo ()
+              in
+              let outcome =
+                Sim.run ~net ~driver:adv.LB.driver ~horizon:(horizon + 100) ()
+              in
+              let legal =
+                RC.check_local ~rate:adv.LB.rate ~sigmas:adv.LB.sigmas
+                  (Network.injection_log net)
+                = Ok ()
+              in
+              rows :=
+                [
+                  topo;
+                  Ratio.to_string adv.LB.rate;
+                  Tbl.fi b;
+                  Tbl.fi (Array.fold_left max 0 adv.LB.sigmas);
+                  Tbl.fi (Network.injected_count net);
+                  Tbl.fi outcome.Sim.max_queue;
+                  Tbl.fi (Network.peak_occupancy net);
+                  Tbl.fb legal;
+                ]
+                :: !rows)
+            n1_bursts)
+        n1_dens)
+    (n_topologies ());
+  Rb.table rb ~id:"n1_local_grid"
+    ~headers:
+      [ "graph"; "rho"; "burst"; "sigma_max"; "injected"; "max_queue";
+        "peak_occupancy"; "legal" ]
+    (List.rev !rows);
+  notef rb
+    "Locally bursty adversary: one rate-1/den token-bucket flow per route \
+     plus a one-off burst of b per flow at t=1; (rho, sigma_e) derived \
+     from the flow set and re-verified on every cell's injection log \
+     (column `legal`).  Horizon %d + 100 drain steps." horizon
+
+let n2_rates = [ (1, 2); (2, 3); (3, 4); (5, 6) ]
+let n2_hots = [ 1; 2; 4; 8 ]
+
+(* N2: the feedback-driven routing grid (arXiv:1812.11113).  One
+   aggregate-rate release bucket, routes chosen online by greedy
+   water-filling over the observed queues, hot edges truncating buffered
+   packets.  Lower [hot] = a more aggressive adversary reaction; the
+   rate-legality column shows the aggregate-bucket argument holding
+   regardless of what the feedback rule picks. *)
+let feedback_grid rb =
+  let horizon = 2_000 in
+  let rows = ref [] in
+  List.iter
+    (fun (topo, graph, routes) ->
+      let m = D.n_edges graph in
+      let pool = Array.of_list routes in
+      List.iter
+        (fun (num, den) ->
+          List.iter
+            (fun hot ->
+              let rate = Ratio.make num den in
+              let adv = FB.make ~rate ~pool ~hot ~horizon () in
+              let net =
+                Network.create ~log_injections:true ~graph
+                  ~policy:Policies.fifo ()
+              in
+              let outcome =
+                Sim.run ~net ~driver:adv.FB.driver ~horizon:(horizon + 100) ()
+              in
+              let legal =
+                RC.check_rate ~m ~rate (Network.injection_log net) = Ok ()
+              in
+              rows :=
+                [
+                  topo;
+                  Ratio.to_string rate;
+                  Tbl.fi hot;
+                  Tbl.fi (Network.injected_count net);
+                  Tbl.fi (Network.reroute_count net);
+                  Tbl.fi outcome.Sim.max_queue;
+                  Tbl.fi (Network.peak_occupancy net);
+                  Tbl.fb legal;
+                ]
+                :: !rows)
+            n2_hots)
+        n2_rates)
+    (n_topologies ());
+  Rb.table rb ~id:"n2_feedback_grid"
+    ~headers:
+      [ "graph"; "rate"; "hot"; "injected"; "reroutes"; "max_queue";
+        "peak_occupancy"; "legal" ]
+    (List.rev !rows);
+  notef rb
+    "Feedback-driven routing: an aggregate rate-r release bucket whose \
+     routes are chosen online against the observed queue vector (greedy \
+     water-filling), with buffered packets truncated on edges whose queue \
+     reaches `hot`.  Smaller hot = more aggressive rerouting.  Column \
+     `legal` re-checks the injection log against the declared rate.  \
+     Horizon %d + 100 drain steps." horizon
+
+(* ------------------------------------------------------------------ *)
 (* B1-B4: bechamel microbenchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1740,6 +1881,22 @@ let build () =
       ("horizon", Spec.Int 1600);
     ]
     capacity_policies;
+  reg "n1" "Locally bursty - the (rho, sigma_e) stability grid"
+    ~tags:[ "adversary" ]
+    [
+      ("dens", ilist n1_dens);
+      ("bursts", ilist n1_bursts);
+      ("horizon", Spec.Int 2000);
+    ]
+    local_burst_grid;
+  reg "n2" "Feedback routing - the rate x aggressiveness grid"
+    ~tags:[ "adversary" ]
+    [
+      ("rates", plist n2_rates);
+      ("hots", ilist n2_hots);
+      ("horizon", Spec.Int 2000);
+    ]
+    feedback_grid;
   reg "a7" "Robustness - Thm 3.17 under superimposed random cross-traffic"
     ~tags:[ "ablation" ]
     [

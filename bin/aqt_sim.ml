@@ -1313,36 +1313,79 @@ let check_cmd =
       outcomes;
     List.for_all (fun (o : Faults.outcome) -> o.passed) outcomes
   in
-  let run_mutant_demo () =
+  let run_mutant_demo ?families () =
     (* The self-check that the differ can catch bugs: corrupt the engine
-       arms four different ways and demand a shrunk reproducer each time. *)
+       arms five different ways and demand a shrunk reproducer each time.
+       Each mutant only manifests on families whose scenarios exercise
+       the corrupted code path (e.g. [skip-reroutes] needs a family that
+       reroutes at all; [violate-local-budget] corrupts all arms
+       identically, so only the local family's admissibility obligation
+       can catch it).  Under --family, a mutant whose exposing families
+       were all excluded is skipped rather than reported uncaught. *)
+    let exposed_by = function
+      | Diff.Drop_injection _ | Diff.Flip_tie_order -> Gen.all_families
+      | Diff.Skip_reroutes ->
+          [ Gen.Free; Gen.Capacity_regime; Gen.Feedback_routing ]
+      | Diff.Ignore_capacity -> [ Gen.Capacity_regime ]
+      | Diff.Violate_local_budget -> [ Gen.Local_bursty ]
+    in
     let mutants =
       [
         ("drop-injection", Diff.Drop_injection 3);
         ("flip-tie-order", Diff.Flip_tie_order);
         ("skip-reroutes", Diff.Skip_reroutes);
         ("ignore-capacity", Diff.Ignore_capacity);
+        ("violate-local-budget", Diff.Violate_local_budget);
       ]
     in
     List.for_all
       (fun (name, mutant) ->
-        match Check.find_mutant_failure mutant with
-        | Some (scenario, failure) ->
-            Printf.printf "mutant %-16s caught: %s\n" name
-              (Format.asprintf "%a" Diff.pp_failure failure);
-            Printf.printf "  shrunk to horizon %d, %d injection(s)\n"
-              (Gen.horizon scenario)
-              (Array.fold_left
-                 (fun acc l -> acc + List.length l)
-                 0 scenario.Gen.schedule);
-            true
-        | None ->
-            Printf.printf "mutant %-16s NOT caught by any scanned seed\n" name;
-            false)
+        let exposing = exposed_by mutant in
+        let scan =
+          match families with
+          | None -> exposing
+          | Some fs -> List.filter (fun f -> List.mem f fs) exposing
+        in
+        if scan = [] then begin
+          Printf.printf
+            "mutant %-16s skipped: no requested family can expose it\n" name;
+          true
+        end
+        else
+          match Check.find_mutant_failure ~families:scan mutant with
+          | Some (scenario, failure) ->
+              Printf.printf "mutant %-16s caught: %s\n" name
+                (Format.asprintf "%a" Diff.pp_failure failure);
+              Printf.printf "  shrunk to horizon %d, %d injection(s)\n"
+                (Gen.horizon scenario)
+                (Array.fold_left
+                   (fun acc l -> acc + List.length l)
+                   0 scenario.Gen.schedule);
+              true
+          | None ->
+              Printf.printf "mutant %-16s NOT caught by any scanned seed\n"
+                name;
+              false)
       mutants
   in
-  let run seeds base seed backend domains faults mutant_demo quiet =
+  let run seeds base seed backend domains family faults mutant_demo quiet =
     let ok = ref true in
+    let families =
+      match family with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun name ->
+                 match Gen.family_of_string name with
+                 | Some f -> f
+                 | None ->
+                     Printf.eprintf
+                       "unknown family %S (free|shared-bucket|windowed|leaky|capacity|local|feedback)\n"
+                       name;
+                     exit 2)
+               names)
+    in
     (* [--backend soa] adds struct-of-arrays arms (one per domain count in
        [--domains]) to the lockstep comparison alongside the record
        engine. *)
@@ -1356,7 +1399,7 @@ let check_cmd =
     in
     (match seed with
     | Some k -> (
-        let scenario = Gen.generate k in
+        let scenario = Gen.generate ?families k in
         Format.printf "%a@." Gen.pp scenario;
         match Diff.run ?soa_domains scenario with
         | None -> Format.printf "seed %d: conforms@." k
@@ -1378,13 +1421,13 @@ let check_cmd =
                     Printf.printf "  ... %d/%d seeds\n%!" done_ seeds)
           in
           let summary =
-            Check.run_seeds ?soa_domains ?progress ~base ~n:seeds ()
+            Check.run_seeds ?families ?soa_domains ?progress ~base ~n:seeds ()
           in
           Format.printf "%a" Check.pp_summary summary;
           if summary.Check.failures <> [] then ok := false
         end);
     if faults then if not (run_faults ()) then ok := false;
-    if mutant_demo then if not (run_mutant_demo ()) then ok := false;
+    if mutant_demo then if not (run_mutant_demo ?families ()) then ok := false;
     if not !ok then exit 1
   in
   let seeds =
@@ -1425,6 +1468,18 @@ let check_cmd =
             "Domain counts for the SoA arms (default 1).  Only meaningful \
              with $(b,--backend soa).")
   in
+  let family =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "family" ] ~docv:"NAME,..."
+          ~doc:
+            "Restrict generation to the listed scenario families \
+             ($(b,free), $(b,shared-bucket), $(b,windowed), $(b,leaky), \
+             $(b,capacity), $(b,local), $(b,feedback)).  Default: all \
+             seven.  Note the seed-to-scenario mapping depends on the \
+             restriction.")
+  in
   let faults =
     Arg.(
       value & flag
@@ -1452,7 +1507,7 @@ let check_cmd =
           replayable by seed.  $(b,--faults) adds the campaign-harness \
           fault-injection self-test.")
     Term.(
-      const run $ seeds $ base $ seed $ backend $ domains $ faults
+      const run $ seeds $ base $ seed $ backend $ domains $ family $ faults
       $ mutant_demo $ quiet)
 
 (* ------------------------------------------------------------------ *)

@@ -53,6 +53,11 @@ let make_driver ~next_phases ~on_phase st =
         match st.current with
         | Some d -> d.Sim.injections_at net t
         | None -> []);
+    (* The current phase is only resolved lazily inside the two hooks
+       above, so a per-phase [observe_queues] cannot be forwarded
+       statically; phase drivers that need queue feedback read the
+       network in [before_step] instead. *)
+    observe_queues = None;
   }
 
 let fresh_state phases =

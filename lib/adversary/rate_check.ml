@@ -163,6 +163,67 @@ let check_leaky ~m ~b ~rate log =
    with Exit -> ());
   !result
 
+(* Locally bursty admissibility (Rosenbaum, arXiv:2208.09522): one global
+   rate rho but a per-edge burst budget sigma_e.  Per edge this is exactly
+   the leaky-bucket scan with b = sigmas.(e):
+   count <= rho*len + sigma_e  <=>  excess <= q * sigma_e. *)
+let check_local ~rate ~sigmas log =
+  let m = Array.length sigmas in
+  Array.iteri
+    (fun e s ->
+      if s < 0 then
+        invalid_arg
+          (Printf.sprintf "Rate_check.check_local: negative sigma on edge %d" e))
+    sigmas;
+  let p = Ratio.num rate and q = Ratio.den rate in
+  let buckets = bucketize ~m log in
+  let result = ref (Ok ()) in
+  (try
+     for e = 0 to m - 1 do
+       let worst, witness = scan_events ~p ~q buckets.(e) in
+       if worst > q * sigmas.(e) then begin
+         match witness with
+         | Some (t1, t2, count) ->
+             let len = t2 - t1 + 1 in
+             result :=
+               Error
+                 {
+                   edge = e;
+                   t1;
+                   t2;
+                   count;
+                   allowed = Ratio.floor_mul rate len + sigmas.(e);
+                 };
+             raise Exit
+         | None -> assert false
+       end
+     done
+   with Exit -> ());
+  !result
+
+let check_local_brute ~rate ~sigmas log =
+  let m = Array.length sigmas in
+  let buckets = bucketize ~m log in
+  let result = ref (Ok ()) in
+  (try
+     for e = 0 to m - 1 do
+       let events = Dyn.to_array buckets.(e) in
+       let n = Array.length events in
+       for i = 0 to n - 1 do
+         let count = ref 0 in
+         for j = i to n - 1 do
+           let t1 = fst events.(i) and t2 = fst events.(j) in
+           count := !count + snd events.(j);
+           let allowed = Ratio.floor_mul rate (t2 - t1 + 1) + sigmas.(e) in
+           if !count > allowed && !result = Ok () then
+             result := Error { edge = e; t1; t2; count = !count; allowed }
+         done
+       done;
+       if !result <> Ok () then raise Exit
+     done
+   with Exit -> ());
+  !result
+
 let scan_edge ~rate events =
   let p = Ratio.num rate and q = Ratio.den rate in
   let dyn = Dyn.create () in

@@ -60,6 +60,28 @@ val check_leaky :
     form; the rate-r condition of this paper sits between [b = 0] and
     [b = 1]. *)
 
+val check_local :
+  rate:Aqt_util.Ratio.t ->
+  sigmas:int array ->
+  (int * int array) array ->
+  (unit, violation) result
+(** Validates against the {e locally bursty} condition of Rosenbaum
+    (arXiv:2208.09522): one global rate [rho] but a per-edge burst budget,
+    [count <= rho * len + sigmas.(e)] for every edge [e] and every interval
+    of [len] steps.  The edge count is [Array.length sigmas]; per edge this
+    is the leaky-bucket scan of {!check_leaky} with [b = sigmas.(e)]
+    (exact integer arithmetic, same potential as {!scan_edge}).
+    [check_leaky ~b] is the special case of a constant sigma vector.
+    @raise Invalid_argument on a negative sigma. *)
+
+val check_local_brute :
+  rate:Aqt_util.Ratio.t ->
+  sigmas:int array ->
+  (int * int array) array ->
+  (unit, violation) result
+(** Reference implementation of {!check_local} enumerating all intervals;
+    O(T^2) per edge.  For cross-validation in tests only. *)
+
 val burstiness :
   m:int -> rate:Aqt_util.Ratio.t -> (int * int array) array -> int
 (** The smallest [b >= 0] such that every interval and edge satisfy

@@ -7,35 +7,37 @@ type failure_report = {
 
 type summary = { seeds_run : int; failures : failure_report list }
 
-let run_seed ?mutant ?soa_domains seed =
-  Diff.run ?mutant ?soa_domains (Gen.generate seed)
+let run_seed ?families ?mutant ?soa_domains seed =
+  Diff.run ?mutant ?soa_domains (Gen.generate ?families seed)
 
-let run_seeds ?mutant ?soa_domains ?(base = 0) ?progress ~n () =
+let run_seeds ?families ?mutant ?soa_domains ?(base = 0) ?progress ~n () =
   let failures = ref [] in
   for i = 0 to n - 1 do
     let seed = base + i in
-    (match run_seed ?mutant ?soa_domains seed with
+    (match run_seed ?families ?mutant ?soa_domains seed with
     | None -> ()
     | Some original ->
         let scenario, failure =
           Shrink.minimize
             ~run:(Diff.run ?mutant ?soa_domains)
-            (Gen.generate seed) original
+            (Gen.generate ?families seed)
+            original
         in
         failures := { seed; original; scenario; failure } :: !failures);
     match progress with Some f -> f (i + 1) | None -> ()
   done;
   { seeds_run = n; failures = List.rev !failures }
 
-let find_mutant_failure ?(max_seeds = 100) mutant =
+let find_mutant_failure ?families ?(max_seeds = 100) mutant =
   let rec scan seed =
     if seed >= max_seeds then None
     else
-      match run_seed ~mutant seed with
+      match run_seed ?families ~mutant seed with
       | None -> scan (seed + 1)
       | Some original ->
           Some
-            (Shrink.minimize ~run:(Diff.run ~mutant) (Gen.generate seed)
+            (Shrink.minimize ~run:(Diff.run ~mutant)
+               (Gen.generate ?families seed)
                original)
   in
   scan 0

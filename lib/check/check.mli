@@ -19,11 +19,17 @@ type summary = {
 }
 
 val run_seed :
-  ?mutant:Diff.mutant -> ?soa_domains:int list -> int -> Diff.failure option
+  ?families:Gen.family list ->
+  ?mutant:Diff.mutant ->
+  ?soa_domains:int list ->
+  int ->
+  Diff.failure option
 (** Generate and differentially run one seed (no shrinking).
+    [families] restricts generation as in {!Gen.generate};
     [soa_domains] adds struct-of-arrays arms as in {!Diff.run}. *)
 
 val run_seeds :
+  ?families:Gen.family list ->
   ?mutant:Diff.mutant ->
   ?soa_domains:int list ->
   ?base:int ->
@@ -36,7 +42,10 @@ val run_seeds :
     seeds completed. *)
 
 val find_mutant_failure :
-  ?max_seeds:int -> Diff.mutant -> (Gen.scenario * Diff.failure) option
+  ?families:Gen.family list ->
+  ?max_seeds:int ->
+  Diff.mutant ->
+  (Gen.scenario * Diff.failure) option
 (** Scan seeds until the mutant makes one diverge, then shrink it.  This
     is the self-check that the differ can actually catch engine bugs —
     used by the test suite and by [aqt_sim check --mutant-demo]. *)

@@ -4,6 +4,7 @@ module Soa = Aqt_engine.Soa
 module Trace = Aqt_engine.Trace
 module Digraph = Aqt_graph.Digraph
 module Rate_check = Aqt_adversary.Rate_check
+module Feedback = Aqt_adversary.Feedback
 module Stability = Aqt.Stability
 module Capacity = Aqt_capacity.Model
 
@@ -12,6 +13,7 @@ type mutant =
   | Flip_tie_order
   | Skip_reroutes
   | Ignore_capacity
+  | Violate_local_budget
 
 type failure = { kind : string; step : int option; detail : string }
 
@@ -312,8 +314,57 @@ let reroute_net net =
 
 let reroute_soa soa =
   Soa.reroute_where soa
-    (fun ~id ~remaining -> id mod 5 = 2 && remaining > 1)
+    (fun ~id ~edge:_ ~remaining -> id mod 5 = 2 && remaining > 1)
     [||]
+
+(* Feedback-routing support: each arm observes its OWN start-of-step queue
+   vector, then re-derives the truncation pass and the greedy route
+   assignment from it with the pure [Feedback] rules.  If any arm's queues
+   have drifted, its choices drift, and the buffer compare reports the
+   divergence the same step. *)
+let queues_ref refm m = Array.init m (Ref_model.buffer_len refm)
+let queues_net net m = Array.init m (Network.buffer_len net)
+let queues_soa soa m = Array.init m (Soa.buffer_len soa)
+
+let feedback_reroute_ref ~queues ~hot refm =
+  let victims = ref [] in
+  Ref_model.iter_buffered
+    (fun p ->
+      if
+        Feedback.should_truncate ~queues ~hot ~edge:(P.current_edge p)
+          ~remaining:(P.remaining p)
+      then victims := p :: !victims)
+    refm;
+  List.iter (fun p -> Ref_model.reroute refm p [||]) !victims
+
+let feedback_reroute_net ~queues ~hot net =
+  let victims = ref [] in
+  Network.iter_buffered
+    (fun p ->
+      if
+        Feedback.should_truncate ~queues ~hot ~edge:(P.current_edge p)
+          ~remaining:(P.remaining p)
+      then victims := p :: !victims)
+    net;
+  List.iter (fun p -> Network.reroute net p [||]) !victims
+
+let feedback_reroute_soa ~queues ~hot soa =
+  Soa.reroute_where soa
+    (fun ~id:_ ~edge ~remaining ->
+      Feedback.should_truncate ~queues ~hot ~edge ~remaining)
+    [||]
+
+(* Replace the placeholder routes of a feedback step with the greedy
+   water-filling assignment derived from [qs].  A no-op on every other
+   family. *)
+let assign_feedback (scenario : Gen.scenario) qs injs =
+  match scenario.Gen.feedback with
+  | None -> injs
+  | Some fb ->
+      List.map2
+        (fun (inj : Network.injection) route -> { inj with route })
+        injs
+        (Feedback.assign ~queues:qs ~pool:fb.Gen.pool (List.length injs))
 
 (* Trace-level invariants: at most [speedup] forwards per (step, edge), and
    each step's forwarded-edge multiset equals the reference model's — the
@@ -386,6 +437,13 @@ let check_obligation scenario net = function
       | Ok () -> ()
       | Error v ->
           fail "leaky" (Format.asprintf "%a" Rate_check.pp_violation v))
+  | Gen.Local_ok { rate; sigmas } ->
+      (match
+         Rate_check.check_local ~rate ~sigmas (Network.injection_log net)
+       with
+      | Ok () -> ()
+      | Error v ->
+          fail "local" (Format.asprintf "%a" Rate_check.pp_violation v))
   | Gen.Dwell_bound { w; rate; d } -> (
       match Stability.verify_run ~w ~rate ~d net with
       | None | Some { Stability.ok = true; _ } -> ()
@@ -395,6 +453,37 @@ let check_obligation scenario net = function
                "dwell bound %d exceeded: max completed %d, max pending %d"
                v.Stability.bound v.Stability.max_dwell_seen
                v.Stability.max_pending))
+
+(* The budget-violation mutant corrupts the SCHEDULE itself — identically
+   for every arm — by replaying one injection [sigma_e + 1] extra times in
+   its step, blowing the per-edge budget on that route's first edge.  No
+   arm diverges from any other, so the differential layer is blind to it by
+   construction: only the [Local_ok] admissibility obligation can catch it.
+   Scenarios without that obligation are immune (the mutant is a no-op). *)
+let violate_local (scenario : Gen.scenario) =
+  let sigmas =
+    List.find_map
+      (function
+        | Gen.Local_ok { rate = _; sigmas } -> Some sigmas
+        | _ -> None)
+      scenario.Gen.obligations
+  in
+  match sigmas with
+  | None -> scenario.Gen.schedule
+  | Some sigmas ->
+      let schedule = Array.copy scenario.Gen.schedule in
+      let idx = ref (-1) in
+      Array.iteri
+        (fun i injs -> if !idx < 0 && injs <> [] then idx := i)
+        schedule;
+      (if !idx >= 0 then
+         match schedule.(!idx) with
+         | [] -> ()
+         | (inj : Network.injection) :: _ ->
+             let e0 = inj.route.(0) in
+             let extra = List.init (sigmas.(e0) + 1) (fun _ -> inj) in
+             schedule.(!idx) <- extra @ schedule.(!idx));
+      schedule
 
 let run ?mutant ?(soa_domains = []) (scenario : Gen.scenario) =
   let engine_tie =
@@ -411,6 +500,10 @@ let run ?mutant ?(soa_domains = []) (scenario : Gen.scenario) =
   let engine_capacity =
     if mutant = Some Ignore_capacity then Capacity.unbounded
     else scenario.capacity
+  in
+  let schedule =
+    if mutant = Some Violate_local_budget then violate_local scenario
+    else scenario.schedule
   in
   let refm =
     Ref_model.create ~tie_order:scenario.tie_order
@@ -453,15 +546,40 @@ let run ?mutant ?(soa_domains = []) (scenario : Gen.scenario) =
     let horizon = Gen.horizon scenario in
     let ref_forwards = Array.make horizon [] in
     let injections_seen = ref 0 in
+    let m = Digraph.n_edges scenario.graph in
     for i = 0 to horizon - 1 do
       let step = i + 1 in
-      if scenario.reroutes then reroute_ref refm;
-      if engine_reroutes then begin
-        reroute_net fast;
-        reroute_net traced;
-        List.iter (fun (_, s) -> reroute_soa s) soa_arms
-      end;
-      let injs = scenario.schedule.(i) in
+      (* Each arm's queue snapshot, taken BEFORE the reroute pass: this is
+         the state the feedback adversary observes, and truncation must not
+         retroactively change what it saw. *)
+      let qs_ref, qs_fast, qs_traced, qs_soa =
+        match scenario.feedback with
+        | None -> ([||], [||], [||], List.map (fun _ -> [||]) soa_arms)
+        | Some _ ->
+            ( queues_ref refm m,
+              queues_net fast m,
+              queues_net traced m,
+              List.map (fun (_, s) -> queues_soa s m) soa_arms )
+      in
+      (match scenario.feedback with
+      | Some { Gen.hot; _ } ->
+          if scenario.reroutes then
+            feedback_reroute_ref ~queues:qs_ref ~hot refm;
+          if engine_reroutes then begin
+            feedback_reroute_net ~queues:qs_fast ~hot fast;
+            feedback_reroute_net ~queues:qs_traced ~hot traced;
+            List.iter2
+              (fun (_, s) qs -> feedback_reroute_soa ~queues:qs ~hot s)
+              soa_arms qs_soa
+          end
+      | None ->
+          if scenario.reroutes then reroute_ref refm;
+          if engine_reroutes then begin
+            reroute_net fast;
+            reroute_net traced;
+            List.iter (fun (_, s) -> reroute_soa s) soa_arms
+          end);
+      let injs = schedule.(i) in
       let engine_injs =
         match mutant with
         | Some (Drop_injection k) ->
@@ -473,11 +591,15 @@ let run ?mutant ?(soa_domains = []) (scenario : Gen.scenario) =
               injs
         | _ -> injs
       in
-      let forwards = Ref_model.step refm injs in
+      let forwards =
+        Ref_model.step refm (assign_feedback scenario qs_ref injs)
+      in
       ref_forwards.(i) <- List.map fst forwards;
-      Network.step fast engine_injs;
-      Network.step traced engine_injs;
-      List.iter (fun (_, s) -> Soa.step s engine_injs) soa_arms;
+      Network.step fast (assign_feedback scenario qs_fast engine_injs);
+      Network.step traced (assign_feedback scenario qs_traced engine_injs);
+      List.iter2
+        (fun (_, s) qs -> Soa.step s (assign_feedback scenario qs engine_injs))
+        soa_arms qs_soa;
       compare_buffers ~arm:"fast" ~step refm fast;
       compare_buffers ~arm:"traced" ~step refm traced;
       List.iter

@@ -47,6 +47,13 @@ type mutant =
           reference enforces the scenario's capacity model — models an
           admission test that silently stopped running.  Only capacity-family
           scenarios can expose it. *)
+  | Violate_local_budget
+      (** Corrupt the schedule {e identically for all arms} — replay one
+          injection [sigma_e + 1] extra times — so the adversary escapes its
+          declared (rho, sigma_e) budget without any arm diverging.  By
+          construction the differential layer cannot see it: only the
+          [Local_ok] admissibility obligation can.  Only local-family
+          scenarios expose it. *)
 
 type failure = {
   kind : string;  (** "divergence", "trace-invariant", "rate", ... *)

@@ -6,13 +6,17 @@ module Network = Aqt_engine.Network
 module Sim = Aqt_engine.Sim
 module Policies = Aqt_policy.Policies
 module Stock = Aqt_adversary.Stock
+module Flow = Aqt_adversary.Flow
 module Capacity = Aqt_capacity.Model
 
 type obligation =
   | Rate_ok of Ratio.t
   | Windowed_ok of { w : int; rate : Ratio.t }
   | Leaky_ok of { b : int; rate : Ratio.t }
+  | Local_ok of { rate : Ratio.t; sigmas : int array }
   | Dwell_bound of { w : int; rate : Ratio.t; d : int }
+
+type feedback = { pool : int array array; hot : int }
 
 type scenario = {
   seed : int;
@@ -24,6 +28,7 @@ type scenario = {
   schedule : Network.injection list array;
   reroutes : bool;
   capacity : Capacity.t;
+  feedback : feedback option;
   obligations : obligation list;
 }
 
@@ -113,6 +118,7 @@ let free prng seed =
     schedule;
     reroutes;
     capacity = Capacity.unbounded;
+    feedback = None;
     obligations = [];
   }
 
@@ -136,6 +142,7 @@ let shared_bucket prng seed =
     schedule = materialize ~graph adv.Stock.driver ~horizon;
     reroutes = false;
     capacity = Capacity.unbounded;
+    feedback = None;
     obligations = [ Rate_ok rate ];
   }
 
@@ -166,6 +173,7 @@ let windowed prng seed =
     schedule = materialize ~graph adv.Stock.driver ~horizon;
     reroutes = false;
     capacity = Capacity.unbounded;
+    feedback = None;
     obligations = [ Windowed_ok { w; rate }; Dwell_bound { w; rate; d } ];
   }
 
@@ -193,6 +201,7 @@ let leaky prng seed =
     schedule = materialize ~graph adv.Stock.driver ~horizon;
     reroutes = false;
     capacity = Capacity.unbounded;
+    feedback = None;
     obligations = [ Leaky_ok { b; rate } ];
   }
 
@@ -254,17 +263,154 @@ let capacity_regime prng seed =
     schedule;
     reroutes;
     capacity;
+    feedback = None;
     obligations = [];
   }
 
-let generate seed =
+(* Locally bursty (arXiv:2208.09522): one token-bucket flow per route with
+   a small one-off burst, per-edge budgets derived by [Local_burst.budgets]
+   so the scenario provably satisfies its own (rho, sigma_e) condition. *)
+let local_burst prng seed =
+  let graph, pool, topo = overlapping_pool prng in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  let m = Digraph.n_edges graph in
+  let flows = List.map (fun route -> (route, Prng.int prng 3)) pool in
+  (* rho = k_max * flow_rate must stay <= 1 for the per-flow rate to be a
+     legal Flow rate and the aggregate to be subcritical; k_max <= |pool|,
+     so a denominator of k_max * (2..5) keeps rho in (0, 1/2]. *)
+  let k = Array.make m 0 in
+  List.iter
+    (fun (route, _) -> Array.iter (fun e -> k.(e) <- k.(e) + 1) route)
+    flows;
+  let k_max = Array.fold_left max 1 k in
+  let den = k_max * (2 + Prng.int prng 4) in
+  let flow_rate = Ratio.make 1 den in
+  let horizon = 30 + Prng.int prng 51 in
+  let adv =
+    Aqt_adversary.Local_burst.make ~m ~flow_rate ~flows ~horizon ()
+  in
+  {
+    seed;
+    label =
+      Printf.sprintf "local-burst %s %s rho=%s flows=%d" topo policy.name
+        (Ratio.to_string adv.Aqt_adversary.Local_burst.rate)
+        (List.length flows);
+    graph;
+    policy;
+    tie_order;
+    initial = [];
+    schedule = materialize ~graph adv.Aqt_adversary.Local_burst.driver ~horizon;
+    reroutes = false;
+    capacity = Capacity.unbounded;
+    feedback = None;
+    obligations =
+      [
+        Local_ok
+          {
+            rate = adv.Aqt_adversary.Local_burst.rate;
+            sigmas = adv.Aqt_adversary.Local_burst.sigmas;
+          };
+      ];
+  }
+
+(* Feedback-driven routing (arXiv:1812.11113): the schedule stores only the
+   release counts (placeholder routes); the differ re-derives the route
+   choice and the truncation pass per arm from that arm's own observed
+   queue vector, so a divergence in observed state becomes a divergence in
+   behaviour the buffer compare catches. *)
+let feedback_routing prng seed =
+  let graph, pool, topo = overlapping_pool prng in
+  let pool = Array.of_list pool in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  let den = 2 + Prng.int prng 6 in
+  let rate = Ratio.make (1 + Prng.int prng den) den in
+  let hot = 1 + Prng.int prng 4 in
+  let horizon = 30 + Prng.int prng 51 in
+  let counter = Flow.make ~route:pool.(0) ~rate ~start:1 ~stop:horizon () in
+  let schedule =
+    Array.init horizon (fun i ->
+        let n =
+          Flow.cumulative counter (i + 1) - Flow.cumulative counter i
+        in
+        List.init n (fun _ : Network.injection ->
+            { route = pool.(0); tag = "feedback" }))
+  in
+  let n_initial = Prng.int prng 4 in
+  let initial =
+    List.init n_initial (fun _ -> pool.(Prng.int prng (Array.length pool)))
+  in
+  {
+    seed;
+    label =
+      Printf.sprintf "feedback %s %s rate=%s hot=%d" topo policy.name
+        (Ratio.to_string rate) hot;
+    graph;
+    policy;
+    tie_order;
+    initial;
+    schedule;
+    reroutes = true;
+    capacity = Capacity.unbounded;
+    feedback = Some { pool; hot };
+    obligations = [ Rate_ok rate ];
+  }
+
+type family =
+  | Free
+  | Shared_bucket
+  | Windowed
+  | Leaky
+  | Capacity_regime
+  | Local_bursty
+  | Feedback_routing
+
+let all_families =
+  [
+    Free;
+    Shared_bucket;
+    Windowed;
+    Leaky;
+    Capacity_regime;
+    Local_bursty;
+    Feedback_routing;
+  ]
+
+let family_name = function
+  | Free -> "free"
+  | Shared_bucket -> "shared-bucket"
+  | Windowed -> "windowed"
+  | Leaky -> "leaky"
+  | Capacity_regime -> "capacity"
+  | Local_bursty -> "local"
+  | Feedback_routing -> "feedback"
+
+let family_of_string = function
+  | "free" -> Some Free
+  | "shared-bucket" | "shared" -> Some Shared_bucket
+  | "windowed" -> Some Windowed
+  | "leaky" -> Some Leaky
+  | "capacity" -> Some Capacity_regime
+  | "local" | "local-burst" -> Some Local_bursty
+  | "feedback" -> Some Feedback_routing
+  | _ -> None
+
+let build = function
+  | Free -> free
+  | Shared_bucket -> shared_bucket
+  | Windowed -> windowed
+  | Leaky -> leaky
+  | Capacity_regime -> capacity_regime
+  | Local_bursty -> local_burst
+  | Feedback_routing -> feedback_routing
+
+let generate ?(families = all_families) seed =
+  if families = [] then invalid_arg "Gen.generate: empty family list";
   let prng = Prng.create seed in
-  match Prng.int prng 5 with
-  | 0 -> free prng seed
-  | 1 -> shared_bucket prng seed
-  | 2 -> windowed prng seed
-  | 3 -> leaky prng seed
-  | _ -> capacity_regime prng seed
+  let fams = Array.of_list families in
+  let fam = fams.(Prng.int prng (Array.length fams)) in
+  build fam prng seed
 
 let pp_obligation fmt = function
   | Rate_ok rate -> Format.fprintf fmt "rate-%a all-intervals" Ratio.pp rate
@@ -272,6 +418,9 @@ let pp_obligation fmt = function
       Format.fprintf fmt "(w=%d, r=%a) windowed (Def 2.1)" w Ratio.pp rate
   | Leaky_ok { b; rate } ->
       Format.fprintf fmt "leaky-bucket b=%d r=%a" b Ratio.pp rate
+  | Local_ok { rate; sigmas } ->
+      Format.fprintf fmt "locally bursty rho=%a sigma_max=%d" Ratio.pp rate
+        (Array.fold_left max 0 sigmas)
   | Dwell_bound { w; rate; d } ->
       Format.fprintf fmt "dwell bound (w=%d, r=%a, d=%d, Thm 4.1/4.3)" w
         Ratio.pp rate d
@@ -282,6 +431,11 @@ let pp fmt s =
     (Digraph.n_nodes s.graph) (Digraph.n_edges s.graph) (horizon s);
   if not (Capacity.is_trivial s.capacity) then
     Format.fprintf fmt "capacity: %s@," (Capacity.describe s.capacity);
+  (match s.feedback with
+  | None -> ()
+  | Some fb ->
+      Format.fprintf fmt "feedback: pool of %d routes, hot=%d@,"
+        (Array.length fb.pool) fb.hot);
   if s.initial <> [] then begin
     Format.fprintf fmt "initial:@,";
     List.iter

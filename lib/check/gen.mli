@@ -8,7 +8,7 @@
     schedule, and the list of {e obligations} the run must satisfy beyond
     agreeing with the reference model.
 
-    Five families are drawn (the family is the seed's first decision):
+    Seven families are drawn (the family is the seed's first decision):
 
     - {b free}: arbitrary injection schedules over rings and lines, any
       deterministic policy, optional rerouting — maximal schedule
@@ -27,10 +27,21 @@
       {!Aqt_capacity.Model} — small uniform, per-edge or Dynamic-Threshold
       shared buffers under every drop discipline, link speedups 1..3 — so
       the engine's admission, eviction and multi-send decisions are
-      differentially checked against the oracle's.
+      differentially checked against the oracle's;
+    - {b local}: a {!Aqt_adversary.Local_burst} locally bursty adversary
+      (arXiv:2208.09522) — one token-bucket flow per route plus per-flow
+      one-off bursts, with the (rho, sigma_e) budgets derived from the
+      flow set — obligation [Local_ok];
+    - {b feedback}: feedback-driven routing (arXiv:1812.11113,
+      {!Aqt_adversary.Feedback}) — the schedule stores only per-step
+      release counts; each differential arm re-derives the greedy route
+      choice and the hot-edge truncation pass from its {e own} observed
+      queue vector, so observation divergence becomes buffer divergence —
+      obligation [Rate_ok] (one aggregate release bucket bounds every edge
+      regardless of route choice).
 
-    The first four families always carry the unbounded capacity model, so
-    the paper's regime keeps its full differential coverage.
+    All families except {b capacity} carry the unbounded capacity model,
+    so the paper's regime keeps its full differential coverage.
 
     Schedules from stock adversaries are materialised once at generation
     time, so the reference model, the fast engine and the traced engine
@@ -46,9 +57,19 @@ type obligation =
       (** Must pass [Rate_check.check_windowed] (Def 2.1). *)
   | Leaky_ok of { b : int; rate : Aqt_util.Ratio.t }
       (** Must pass [Rate_check.check_leaky]. *)
+  | Local_ok of { rate : Aqt_util.Ratio.t; sigmas : int array }
+      (** Must pass [Rate_check.check_local] (locally bursty,
+          arXiv:2208.09522). *)
   | Dwell_bound of { w : int; rate : Aqt_util.Ratio.t; d : int }
       (** [Aqt.Stability.verify_run] must not report a violated theorem
           bound (scenarios where no theorem applies verify vacuously). *)
+
+type feedback = { pool : int array array; hot : int }
+(** The feedback-routing scenario parameters: the candidate route pool and
+    the queue-length truncation threshold.  Present only on the
+    {b feedback} family; the differ re-derives route choices per arm with
+    {!Aqt_adversary.Feedback.assign} and truncations with
+    {!Aqt_adversary.Feedback.should_truncate}. *)
 
 type scenario = {
   seed : int;
@@ -65,14 +86,38 @@ type scenario = {
   capacity : Aqt_capacity.Model.t;
       (** The buffer/speedup regime all three arms run under; unbounded for
           every family except {b capacity}. *)
+  feedback : feedback option;
+      (** When [Some], routes in [schedule] are placeholders: each arm
+          reassigns them online from its own queue observations. *)
   obligations : obligation list;
 }
 
 val horizon : scenario -> int
 
-val generate : int -> scenario
-(** The scenario of a seed.  Total: every seed yields a well-formed
-    scenario. *)
+type family =
+  | Free
+  | Shared_bucket
+  | Windowed
+  | Leaky
+  | Capacity_regime
+  | Local_bursty
+  | Feedback_routing
+
+val all_families : family list
+
+val family_name : family -> string
+(** The CLI name: ["free"], ["shared-bucket"], ["windowed"], ["leaky"],
+    ["capacity"], ["local"], ["feedback"]. *)
+
+val family_of_string : string -> family option
+(** Inverse of {!family_name} (also accepts ["shared"] and
+    ["local-burst"]). *)
+
+val generate : ?families:family list -> int -> scenario
+(** The scenario of a seed, drawn from [families] (default: all seven).
+    Total: every seed yields a well-formed scenario.  Restricting
+    [families] changes which scenario a given seed maps to.
+    @raise Invalid_argument on an empty family list. *)
 
 val pp : Format.formatter -> scenario -> unit
 (** Full human-readable dump: label, sizes, initial routes, the nonempty

@@ -58,6 +58,12 @@ let converted_driver ~initial ~(driver : Aqt_engine.Sim.driver) :
                (fun route : Network.injection -> { route; tag = "initial" })
                initial)
         else driver.injections_at net (t - 1));
+    (* The wrapped adversary's clock is shifted by the synthetic first
+       step, so its queue observations shift with it. *)
+    observe_queues =
+      Option.map
+        (fun f queues t -> if t > 1 then f queues (t - 1))
+        driver.Aqt_engine.Sim.observe_queues;
   }
 
 type verdict = { bound : int; max_dwell_seen : int; max_pending : int; ok : bool }

@@ -1,12 +1,28 @@
 type driver = {
   before_step : Network.t -> int -> unit;
   injections_at : Network.t -> int -> Network.injection list;
+  observe_queues : (int array -> int -> unit) option;
 }
 
 let null_driver =
-  { before_step = (fun _ _ -> ()); injections_at = (fun _ _ -> []) }
+  {
+    before_step = (fun _ _ -> ());
+    injections_at = (fun _ _ -> []);
+    observe_queues = None;
+  }
 
 let injections_only f = { null_driver with injections_at = f }
+
+(* Feedback adversaries observe the start-of-step queue vector — exactly
+   the state the stability theorems quantify over — before any reroute or
+   injection decision of the step.  The snapshot is only materialised when
+   a driver asks for it. *)
+let feed_queues driver net t =
+  match driver.observe_queues with
+  | None -> ()
+  | Some f ->
+      let m = Aqt_graph.Digraph.n_edges (Network.graph net) in
+      f (Array.init m (Network.buffer_len net)) t
 
 type stop = Horizon | Drained | Blowup of int | Stopped of string
 
@@ -30,6 +46,7 @@ let run ?recorder ?blowup ?stop_when ?(drain_stop = false) ~net ~driver
     if steps_done >= horizon then Horizon
     else begin
       let t = Network.now net + 1 in
+      feed_queues driver net t;
       driver.before_step net t;
       let injections = driver.injections_at net t in
       Network.step net injections;
@@ -77,12 +94,14 @@ let run_steps ?recorder ~net ~driver n =
   | None ->
       for _ = 1 to n do
         let t = Network.now net + 1 in
+        feed_queues driver net t;
         driver.before_step net t;
         Network.step net (driver.injections_at net t)
       done
   | Some r ->
       for _ = 1 to n do
         let t = Network.now net + 1 in
+        feed_queues driver net t;
         driver.before_step net t;
         Network.step net (driver.injections_at net t);
         Recorder.observe r net

@@ -9,6 +9,13 @@ type driver = {
       (** Called with the step number about to execute; may reroute. *)
   injections_at : Network.t -> int -> Network.injection list;
       (** Injections arriving in the second substep of the given step. *)
+  observe_queues : (int array -> int -> unit) option;
+      (** Feedback hook: called with the per-edge queue-length vector as it
+          stands at the {e start} of the step (before [before_step] and the
+          step's forwards), plus the step number — exactly the state the
+          stability theorems quantify over, and the only state the
+          feedback-routing adversary of arXiv:1812.11113 may react to.
+          [None] (the default) skips the snapshot entirely. *)
 }
 
 val null_driver : driver

@@ -1410,7 +1410,11 @@ let reroute_where t pred suffix =
       let len = Array.unsafe_get arena (w + o_len) in
       let remaining = len - hop in
       let id = t.pid.(Array.unsafe_get arena (w + o_slot)) in
-      if pred ~id ~remaining then begin
+      (* The edge the packet is buffered on is its next route entry. *)
+      let edge =
+        Array.unsafe_get t.rarena (Array.unsafe_get arena (w + o_off) + hop)
+      in
+      if pred ~id ~edge ~remaining then begin
         let keep = hop + 1 in
         let nlen = keep + Array.length suffix in
         let route = Array.make nlen 0 in

@@ -56,13 +56,16 @@ val step : t -> injection list -> unit
 (** One global time step with the given injections in its second substep. *)
 
 val reroute_where :
-  t -> (id:int -> remaining:int -> bool) -> int array -> unit
+  t -> (id:int -> edge:int -> remaining:int -> bool) -> int array -> unit
 (** [reroute_where t pred suffix] rewrites the route of every buffered
     packet selected by [pred] to its traversed prefix (including the current
     edge) followed by [suffix] — the Lemma 3.3 rewrite of
     {!Network.reroute}, as a bulk operation because packet slots are not
-    stable handles.  Route validation applies when enabled.  Selection order
-    is unspecified; [pred] must not depend on it. *)
+    stable handles.  [pred] sees the packet id, the edge it is currently
+    buffered on (so queue-driven feedback rules can select by local
+    congestion) and its remaining hop count.  Route validation applies when
+    enabled.  Selection order is unspecified; [pred] must not depend on
+    it. *)
 
 (** {1 Observation}
 

@@ -19,11 +19,11 @@ let observe t =
 
 let driver_wrap t (driver : Sim.driver) : Sim.driver =
   {
+    driver with
     before_step =
       (fun net step ->
         observe t;
         driver.before_step net step);
-    injections_at = driver.injections_at;
   }
 
 let n_samples t = Dyn.length t.samples

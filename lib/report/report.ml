@@ -316,6 +316,76 @@ let render_capacity_tradeoff ctx =
       Plot.render ~x_label:"buffer budget (cap per edge; 8*cap shared)"
         ~y_label:"drop rate" ~title series
 
+(* The adversary-family figures read the n1/n2 campaign tables
+   (ring rows only; the gadget rows stay in the tables).  Sweep order
+   is preserved from the experiment, so rho decreases down the rows
+   and the knob grows along the columns. *)
+let grid_of t ~graph ~row_col ~col_col ~cell_col =
+  let g = column_s t "graph" in
+  let rv = column_s t row_col in
+  let cv = column_s t col_col in
+  let cell = column t cell_col in
+  let push l v = if not (List.mem v !l) then l := !l @ [ v ] in
+  let rows = ref [] and cols = ref [] in
+  Array.iteri
+    (fun i gi ->
+      if gi = graph then begin
+        push rows rv.(i);
+        push cols cv.(i)
+      end)
+    g;
+  let idx l v =
+    let rec go i = function
+      | [] -> 0
+      | x :: tl -> if x = v then i else go (i + 1) tl
+    in
+    go 0 l
+  in
+  let values =
+    Array.make_matrix (List.length !rows) (List.length !cols) Float.nan
+  in
+  Array.iteri
+    (fun i gi ->
+      if gi = graph then
+        values.(idx !rows rv.(i)).(idx !cols cv.(i)) <- cell.(i))
+    g;
+  (!rows, !cols, values)
+
+let annot_count =
+  Array.map
+    (Array.map (fun v ->
+         if Float.is_nan v then None else Some (Printf.sprintf "%.0f" v)))
+
+let render_local_burst_heatmap ctx =
+  let title = "N1 - locally bursty: peak queue over (rho, sigma_e)" in
+  match find_table ctx ~experiment:"n1" ~id:"n1_local_grid" with
+  | None -> Heatmap.render ~title ~rows:[] ~cols:[] [||]
+  | Some t ->
+      let rows, cols, values =
+        grid_of t ~graph:"ring" ~row_col:"rho" ~col_col:"burst"
+          ~cell_col:"max_queue"
+      in
+      Heatmap.render ~log_scale:true ~annot:(annot_count values)
+        ~x_label:"per-flow burst allowance" ~y_label:"aggregate rate rho"
+        ~title
+        ~rows:(List.map (fun r -> "rho=" ^ r) rows)
+        ~cols values
+
+let render_feedback_heatmap ctx =
+  let title = "N2 - feedback routing: reroutes over (rate, hot)" in
+  match find_table ctx ~experiment:"n2" ~id:"n2_feedback_grid" with
+  | None -> Heatmap.render ~title ~rows:[] ~cols:[] [||]
+  | Some t ->
+      let rows, cols, values =
+        grid_of t ~graph:"ring" ~row_col:"rate" ~col_col:"hot"
+          ~cell_col:"reroutes"
+      in
+      Heatmap.render ~annot:(annot_count values)
+        ~x_label:"hot threshold (queue length that triggers a reroute)"
+        ~y_label:"injection rate" ~title
+        ~rows:(List.map (fun r -> "r=" ^ r) rows)
+        ~cols values
+
 let render_spacetime _ =
   (* The `aqt_sim spacetime` scenario: small enough to read (and to
      commit as SVG), big enough to show the pump moving the queue. *)
@@ -509,6 +579,39 @@ let default_figures () =
          lands — the shared-buffer advantage of arXiv:1707.03856.";
       experiments = [ "c2" ];
       render = render_capacity_tradeoff;
+    };
+    {
+      id = "local_burst_heatmap";
+      title = "N1 - locally bursty stability over (rho, sigma_e)";
+      caption =
+        "Campaign experiment `n1`: three overlapping 3-hop flows on the \
+         6-ring under the locally bursty adversary of arXiv:2208.09522, \
+         swept over aggregate rate rho and per-flow burst allowance \
+         (cell label = peak single-edge queue, log color scale).  Every \
+         run is admissible by construction — `Rate_check.check_local` \
+         certifies each one against its per-edge (rho, sigma_e) budget \
+         — and peak queues track sigma_e, not the horizon: locally \
+         bursty injection moves the burst into the budget without \
+         breaking stability.";
+      experiments = [ "n1" ];
+      render = render_local_burst_heatmap;
+    };
+    {
+      id = "feedback_heatmap";
+      title = "N2 - feedback routing aggressiveness";
+      caption =
+        "Campaign experiment `n2`: a feedback-driven adversary \
+         (arXiv:1812.11113) that watches per-edge queue lengths and \
+         truncates the route of any packet about to enter an edge with \
+         more than `hot` queued packets, swept over injection rate and \
+         the hot threshold on the 4-ring (cell label = number of \
+         truncations performed).  At hot = 1 every packet is rerouted; \
+         by hot = 4 the queues never reach the trigger and the \
+         adversary goes quiet.  Peak queues stay at most 2 across the \
+         whole grid — online rerouting under an admissible rate cannot \
+         destabilize the ring.";
+      experiments = [ "n2" ];
+      render = render_feedback_heatmap;
     };
     {
       id = "spacetime";

@@ -35,29 +35,50 @@ let advance t ~now fire =
     let from_slot = slot_of t t.hand in
     let ticks = int_of_float ((now -. t.hand) /. t.tick) + 1 in
     let steps = min ticks nslots in
+    let base = Float.floor (t.hand /. t.tick) *. t.tick in
+    let refile e =
+      (* Crossed the slot early (or recirculating): re-file relative to
+         the new hand position. *)
+      let filed =
+        if e.deadline > now +. span t then now +. span t -. t.tick
+        else e.deadline
+      in
+      let s' = slot_of t filed in
+      t.slots.(s') <- e :: t.slots.(s')
+    in
     for k = 0 to steps - 1 do
       let s = (from_slot + k) mod nslots in
-      let entries = t.slots.(s) in
-      if entries <> [] then begin
-        t.slots.(s) <- [];
-        List.iter
-          (fun e ->
-            if e.deadline <= now then begin
-              t.count <- t.count - 1;
-              fire e.payload
-            end
-            else begin
-              (* Crossed the slot early (or recirculating): re-file
-                 relative to the new hand position. *)
-              let filed =
-                if e.deadline > now +. span t then now +. span t -. t.tick
-                else e.deadline
-              in
-              let s' = slot_of t filed in
-              t.slots.(s') <- e :: t.slots.(s')
-            end)
-          entries
-      end
+      (* Advance the hand INTO this slot before draining it.  [add] files
+         due entries at the hand, so a fire callback that re-arms with a
+         past deadline lands in the slot being drained (re-checked below)
+         or a later one still in this sweep — with a stale hand it would
+         land in an already-swept slot and fire a whole revolution late. *)
+      t.hand <-
+        Float.max t.hand (Float.min now (base +. (float_of_int k *. t.tick)));
+      (* Drain to a fixpoint: fire callbacks may insert entries due in
+         this very slot.  The first pass always sweeps (recirculating
+         parked far-future entries); later passes only run while due
+         entries keep appearing, so the loop terminates unless callbacks
+         keep manufacturing already-due work (a livelock in any design). *)
+      let rec drain first =
+        let entries = t.slots.(s) in
+        if
+          entries <> []
+          && (first || List.exists (fun e -> e.deadline <= now) entries)
+        then begin
+          t.slots.(s) <- [];
+          List.iter
+            (fun e ->
+              if e.deadline <= now then begin
+                t.count <- t.count - 1;
+                fire e.payload
+              end
+              else refile e)
+            entries;
+          drain false
+        end
+      in
+      drain true
     done;
     t.hand <- now
   end

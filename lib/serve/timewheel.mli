@@ -29,7 +29,12 @@ val advance : 'a t -> now:float -> ('a -> unit) -> unit
 (** Move the hand forward to [now], calling the callback on every entry
     whose deadline has passed, in no particular order.  Entries filed in
     a crossed slot but not yet due are re-filed.  Time moving backwards
-    is ignored (the hand never retreats). *)
+    is ignored (the hand never retreats).
+
+    Reentrant with {!add}: the hand advances slot-by-slot during the
+    sweep and each slot is drained to a fixpoint, so a callback that
+    re-arms with an already-due deadline fires in {e this} advance, not
+    one wheel revolution later. *)
 
 val pending : 'a t -> int
 (** Entries currently filed, including stale ones awaiting lazy

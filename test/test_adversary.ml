@@ -140,6 +140,31 @@ let windowed_check () =
   let good = log_of_times 0 [ 1; 4; 12; 15; 23 ] in
   check_bool "legal windowed" true (RC.check_windowed ~m:1 ~w:8 ~rate good = Ok ())
 
+let windowed_check_boundary () =
+  (* Def 2.1 audit: windows are CLOSED intervals of w consecutive steps,
+     [t-w+1, t].  With w=3 and r=1/3 exactly one packet fits per window;
+     the off-by-one failure modes are counting the window half-open
+     (admitting t=1,t=3) or over-closed (rejecting t=1,t=4). *)
+  let rate = R.make 1 3 in
+  check_bool "t=1 and t=3 share the closed window [1,3]" true
+    (Result.is_error
+       (RC.check_windowed ~m:1 ~w:3 ~rate (log_of_times 0 [ 1; 3 ])));
+  check_bool "t=1 and t=4 are w apart: legal" true
+    (RC.check_windowed ~m:1 ~w:3 ~rate (log_of_times 0 [ 1; 4 ]) = Ok ());
+  (* The same spacing repeated stays legal forever (every window holds
+     exactly floor(r*w) = 1). *)
+  check_bool "periodic at exactly rate" true
+    (RC.check_windowed ~m:1 ~w:3 ~rate (log_of_times 0 [ 1; 4; 7; 10; 13 ])
+    = Ok ());
+  (* And the boundary violation is reported against the closed window. *)
+  match RC.check_windowed ~m:1 ~w:3 ~rate (log_of_times 0 [ 2; 4 ]) with
+  | Ok () -> Alcotest.fail "boundary violation missed"
+  | Error v ->
+      check_int "count over [2,4]" 2 v.RC.count;
+      check_int "allowed floor(w*r)" 1 v.RC.allowed;
+      check_bool "window is w wide, endpoints inclusive" true
+        (v.RC.t2 - v.RC.t1 + 1 = 3)
+
 let burstiness_measure () =
   check_int "legal log has burstiness 0" 0
     (RC.burstiness ~m:1 ~rate:R.half (log_of_times 0 [ 1; 3; 5 ]));
@@ -209,6 +234,148 @@ let prop_windowed_equals_brute =
       in
       let brute = windowed_brute ~w ~allowed:(R.floor_mul rate w) times in
       fast = brute)
+
+(* ------------------------------------------------------------------ *)
+(* Locally bursty (arXiv:2208.09522)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module LB = Aqt_adversary.Local_burst
+
+let local_check () =
+  let rate = R.half in
+  (* sigma_0 = 2: up to floor(len/2) + 2 packets on edge 0 per interval. *)
+  check_bool "burst of sigma at t=1 passes" true
+    (RC.check_local ~rate ~sigmas:[| 2 |] (log_of_times 0 [ 1; 1 ]) = Ok ());
+  check_bool "burst of sigma+1 at t=1 fails" true
+    (Result.is_error
+       (RC.check_local ~rate ~sigmas:[| 2 |] (log_of_times 0 [ 1; 1; 1 ])));
+  (* Per-edge budgets really are per-edge: the same burst is fine on the
+     generous edge and a violation on the tight one. *)
+  check_bool "tight edge only" true
+    (Result.is_error
+       (RC.check_local ~rate ~sigmas:[| 0; 5 |] (log_of_times 0 [ 2; 2 ])));
+  check_bool "generous edge absorbs it" true
+    (RC.check_local ~rate ~sigmas:[| 0; 5 |] (log_of_times 1 [ 2; 2 ]) = Ok ());
+  (* sigma = 0 leaves the pure floor bound: rate 1/2 admits a packet only
+     every other step. *)
+  check_bool "sigma=0 is the bare floor" true
+    (Result.is_error
+       (RC.check_local ~rate ~sigmas:[| 0 |] (log_of_times 0 [ 1 ])));
+  Alcotest.check_raises "negative sigma"
+    (Invalid_argument "Rate_check.check_local: negative sigma on edge 1")
+    (fun () -> ignore (RC.check_local ~rate ~sigmas:[| 0; -1 |] [||]))
+
+let prop_local_equals_brute =
+  QCheck.Test.make ~name:"local checker agrees with brute force" ~count:300
+    (QCheck.triple
+       (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 1 8))
+       (QCheck.int_range 0 4)
+       (QCheck.small_list (QCheck.int_range 1 40)))
+    (fun ((p, q), sigma, times) ->
+      let rate = R.make (min p q) (max p q) in
+      let times = List.sort compare times in
+      let log = log_of_times 0 times in
+      let fast = RC.check_local ~rate ~sigmas:[| sigma |] log in
+      let brute = RC.check_local_brute ~rate ~sigmas:[| sigma |] log in
+      Result.is_ok fast = Result.is_ok brute)
+
+let local_burst_budgets () =
+  (* Two flows over edge 1, one over each of 0 and 2: k_max = 2, and the
+     per-edge sigmas count (burst + 1) per flow using the edge. *)
+  let flows = [ ([| 0; 1 |], 2); ([| 1; 2 |], 0) ] in
+  let rate, sigmas = LB.budgets ~m:3 ~flow_rate:(R.make 1 4) flows in
+  check_bool "rho = k_max * flow rate" true (R.equal rate R.half);
+  check_int "sigma_0" 3 sigmas.(0);
+  check_int "sigma_1 sums both flows" 4 sigmas.(1);
+  check_int "sigma_2" 1 sigmas.(2);
+  Alcotest.check_raises "negative burst"
+    (Invalid_argument "Local_burst: negative burst") (fun () ->
+      ignore (LB.budgets ~m:1 ~flow_rate:R.half [ ([| 0 |], -1) ]))
+
+let prop_local_burst_is_legal =
+  (* Admissibility by construction: whatever the flow layout, the
+     adversary's own injection log passes its own derived budget check —
+     on every edge, not just the loaded ones. *)
+  QCheck.Test.make ~name:"local-burst adversary passes its own check"
+    ~count:150
+    (QCheck.triple
+       (QCheck.pair (QCheck.int_range 2 6) (QCheck.int_range 1 9))
+       (QCheck.small_list (QCheck.pair (QCheck.int_range 0 2) QCheck.bool))
+       (QCheck.int_range 10 60))
+    (fun ((den, seed), bursts, horizon) ->
+      let l = B.line 3 in
+      let segment i =
+        (* deterministic little variety: prefix, suffix or full line *)
+        match (seed + i) mod 3 with
+        | 0 -> [| l.edges.(0) |]
+        | 1 -> [| l.edges.(1); l.edges.(2) |]
+        | _ -> l.edges
+      in
+      let flows = List.mapi (fun i (b, _) -> (segment i, b)) bursts in
+      match flows with
+      | [] -> true
+      | _ ->
+          let k = List.length flows in
+          let adv =
+            LB.make ~m:3 ~flow_rate:(R.make 1 (k * den)) ~flows ~horizon ()
+          in
+          let net =
+            N.create ~log_injections:true ~graph:l.graph
+              ~policy:Policies.fifo ()
+          in
+          let _ = Sim.run ~net ~driver:adv.driver ~horizon:(horizon + 30) () in
+          RC.check_local ~rate:adv.rate ~sigmas:adv.sigmas
+            (N.injection_log net)
+          = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Feedback-driven routing (arXiv:1812.11113)                          *)
+(* ------------------------------------------------------------------ *)
+
+module FB = Aqt_adversary.Feedback
+
+let feedback_assign_water_fills () =
+  let pool = [| [| 0 |]; [| 1 |] |] in
+  (* Edge 0 backed up: both releases go to edge 1 until the virtual load
+     evens out, then they alternate (ties to the lowest index). *)
+  check_bool "avoids the loaded edge" true
+    (FB.assign ~queues:[| 2; 0 |] ~pool 2 = [ [| 1 |]; [| 1 |] ]);
+  check_bool "then alternates on the tie" true
+    (FB.assign ~queues:[| 2; 0 |] ~pool 4
+    = [ [| 1 |]; [| 1 |]; [| 0 |]; [| 1 |] ]);
+  check_bool "tie breaks to lowest index" true
+    (FB.assign ~queues:[| 0; 0 |] ~pool 1 = [ [| 0 |] ]);
+  check_bool "route cost sums the whole route" true
+    (FB.route_cost [| 1; 2; 4 |] [| 0; 2 |] = 5);
+  Alcotest.check_raises "empty pool"
+    (Invalid_argument "Feedback.assign: empty pool") (fun () ->
+      ignore (FB.assign ~queues:[| 0 |] ~pool:[||] 1))
+
+let feedback_truncation_rule () =
+  check_bool "hot edge with hops left truncates" true
+    (FB.should_truncate ~queues:[| 3 |] ~hot:3 ~edge:0 ~remaining:2);
+  check_bool "below threshold keeps route" false
+    (FB.should_truncate ~queues:[| 2 |] ~hot:3 ~edge:0 ~remaining:2);
+  check_bool "last hop never truncates" false
+    (FB.should_truncate ~queues:[| 9 |] ~hot:3 ~edge:0 ~remaining:1)
+
+let feedback_run_is_rate_legal () =
+  (* The aggregate-release argument: whatever routes the feedback rule
+     picks, the injection log obeys the single declared rate on every
+     edge. *)
+  let r = B.ring 4 in
+  let pool =
+    Array.init 4 (fun i -> [| r.edges.(i); r.edges.((i + 1) mod 4) |])
+  in
+  let adv = FB.make ~rate:(R.make 2 3) ~pool ~hot:2 ~horizon:80 () in
+  let net =
+    N.create ~log_injections:true ~graph:r.graph ~policy:Policies.fifo ()
+  in
+  let _ = Sim.run ~net ~driver:adv.driver ~horizon:120 () in
+  check_bool "log is rate-legal on all edges" true
+    (RC.check_rate ~m:4 ~rate:adv.rate (N.injection_log net) = Ok ());
+  check_bool "it actually injected" true (N.injected_count net > 0);
+  check_bool "and actually rerouted" true (N.reroute_count net > 0)
 
 let prop_flows_are_rate_legal =
   QCheck.Test.make ~name:"any single flow passes its own rate check"
@@ -513,6 +680,8 @@ let () =
           Alcotest.test_case "multi-edge routes" `Quick rate_check_multi_edge_routes;
           Alcotest.test_case "unsorted rejected" `Quick rate_check_unsorted_rejected;
           Alcotest.test_case "windowed" `Quick windowed_check;
+          Alcotest.test_case "windowed closed-window boundary" `Quick
+            windowed_check_boundary;
           Alcotest.test_case "leaky bucket" `Quick leaky_check;
           Alcotest.test_case "burstiness" `Quick burstiness_measure;
           Alcotest.test_case "scan_edge empty sentinel" `Quick
@@ -530,6 +699,21 @@ let () =
           q prop_fast_equals_brute;
           q prop_windowed_equals_brute;
           q prop_flows_are_rate_legal;
+        ] );
+      ( "local-burst",
+        [
+          Alcotest.test_case "per-edge budgets" `Quick local_check;
+          Alcotest.test_case "derived budgets" `Quick local_burst_budgets;
+          q prop_local_equals_brute;
+          q prop_local_burst_is_legal;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "assign water-fills" `Quick
+            feedback_assign_water_fills;
+          Alcotest.test_case "truncation rule" `Quick feedback_truncation_rule;
+          Alcotest.test_case "run is rate-legal" `Quick
+            feedback_run_is_rate_legal;
         ] );
       ( "stock",
         [

@@ -131,6 +131,86 @@ let gen_total_and_wellformed () =
       s.Gen.schedule
   done
 
+let family_label_prefix f =
+  (* Scenario labels lead with the family tag. *)
+  match f with
+  | Gen.Free -> "free"
+  | Gen.Shared_bucket -> "shared-bucket"
+  | Gen.Windowed -> "windowed"
+  | Gen.Leaky -> "leaky"
+  | Gen.Capacity_regime -> "capacity"
+  | Gen.Local_bursty -> "local-burst"
+  | Gen.Feedback_routing -> "feedback"
+
+let gen_all_families_reachable () =
+  (* Unrestricted generation reaches all seven families in a modest seed
+     block, and a restricted draw yields only the requested family. *)
+  let seen = Hashtbl.create 7 in
+  for seed = 0 to 199 do
+    let s = Gen.generate seed in
+    List.iter
+      (fun f ->
+        let p = family_label_prefix f in
+        if
+          String.length s.Gen.label >= String.length p
+          && String.sub s.Gen.label 0 (String.length p) = p
+        then Hashtbl.replace seen f ())
+      Gen.all_families
+  done;
+  (* "local-burst" also prefixes "local"; count distinct family keys. *)
+  check_bool "all seven families reachable" true (Hashtbl.length seen >= 7);
+  List.iter
+    (fun f ->
+      for seed = 0 to 15 do
+        let s = Gen.generate ~families:[ f ] seed in
+        let p = family_label_prefix f in
+        check_bool
+          (Printf.sprintf "restricted draw yields %s" (Gen.family_name f))
+          true
+          (String.length s.Gen.label >= String.length p
+          && String.sub s.Gen.label 0 (String.length p) = p)
+      done)
+    Gen.all_families;
+  check_bool "family names round-trip" true
+    (List.for_all
+       (fun f -> Gen.family_of_string (Gen.family_name f) = Some f)
+       Gen.all_families)
+
+let gen_scenarios_self_admissible () =
+  (* Every generated scenario's own schedule already satisfies every
+     rate-style obligation it declares — admissibility is by construction,
+     not an artifact of the engine run.  (Dwell bounds need a run and are
+     covered by the differ.) *)
+  let module RC = Aqt_adversary.Rate_check in
+  for seed = 0 to 149 do
+    let s = Gen.generate seed in
+    let m = Aqt_graph.Digraph.n_edges s.Gen.graph in
+    let log =
+      Array.of_list
+        (List.concat
+           (List.mapi
+              (fun i injs ->
+                List.map (fun (inj : N.injection) -> (i + 1, inj.N.route)) injs)
+              (Array.to_list s.Gen.schedule)))
+    in
+    let name k = Printf.sprintf "seed %d %s admissible" seed k in
+    List.iter
+      (function
+        | Gen.Rate_ok rate ->
+            check_bool (name "rate") true (RC.check_rate ~m ~rate log = Ok ())
+        | Gen.Windowed_ok { w; rate } ->
+            check_bool (name "windowed") true
+              (RC.check_windowed ~m ~w ~rate log = Ok ())
+        | Gen.Leaky_ok { b; rate } ->
+            check_bool (name "leaky") true
+              (RC.check_leaky ~m ~b ~rate log = Ok ())
+        | Gen.Local_ok { rate; sigmas } ->
+            check_bool (name "local") true
+              (RC.check_local ~rate ~sigmas log = Ok ())
+        | Gen.Dwell_bound _ -> ())
+      s.Gen.obligations
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Differential driver                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -144,8 +224,8 @@ let engine_conforms_on_seed_block () =
       Alcotest.failf "seed %d diverged: %a" seed Diff.pp_failure failure);
   check_bool "no failures" true (summary.Check.failures = [])
 
-let mutant_is_caught name mutant () =
-  match Check.find_mutant_failure ~max_seeds:60 mutant with
+let mutant_is_caught ?families name mutant () =
+  match Check.find_mutant_failure ?families ~max_seeds:60 mutant with
   | None -> Alcotest.failf "mutant %s not caught by any scanned seed" name
   | Some (scenario, failure) ->
       (* The shrunk reproducer must still fail under the mutant... *)
@@ -202,6 +282,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick gen_deterministic;
           Alcotest.test_case "total and well-formed" `Quick
             gen_total_and_wellformed;
+          Alcotest.test_case "all families reachable" `Quick
+            gen_all_families_reachable;
+          Alcotest.test_case "scenarios self-admissible" `Quick
+            gen_scenarios_self_admissible;
         ] );
       ( "diff",
         [
@@ -213,6 +297,9 @@ let () =
             (mutant_is_caught "flip-tie-order" Diff.Flip_tie_order);
           Alcotest.test_case "catches skip-reroutes" `Quick
             (mutant_is_caught "skip-reroutes" Diff.Skip_reroutes);
+          Alcotest.test_case "catches violate-local-budget" `Quick
+            (mutant_is_caught ~families:[ Gen.Local_bursty ]
+               "violate-local-budget" Diff.Violate_local_budget);
           Alcotest.test_case "shrink reduces" `Quick shrink_reduces;
         ] );
       ( "faults",

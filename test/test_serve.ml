@@ -227,6 +227,31 @@ let bucket_rate_bound () =
   check_bool "admission keeps pace with rho" true
     (float_of_int !admitted >= 5. *. t *. 0.9)
 
+let bucket_refund_clamped () =
+  (* Regression: a refund must never credit past sigma.  A full bucket
+     plus a spurious-looking refund (admit, long idle refill, then the
+     endpoint layer sheds and refunds) must still cap at sigma — an
+     over-credit would let a later burst exceed the (rho,sigma) law. *)
+  let now = ref 0. in
+  let b = Bucket.create ~now:(fun () -> !now) ~rho:2. ~sigma:3 () in
+  check_bool "take from full" true (Bucket.try_take b);
+  now := 100.;
+  (* refill brings the level back to sigma before the refund lands *)
+  Bucket.refund b;
+  check_bool "refund clamped to sigma" true (Bucket.level b <= 3.);
+  let admitted = ref 0 in
+  for _ = 1 to 10 do
+    if Bucket.try_take b then incr admitted
+  done;
+  check_int "burst still bounded by sigma" 3 !admitted;
+  (* Refund into a non-full bucket is an exact +1, not a fractional
+     re-derivation from the clock. *)
+  let c = Bucket.create ~now:(fun () -> !now) ~rho:1. ~sigma:2 () in
+  check_bool "drain" true (Bucket.try_take c && Bucket.try_take c);
+  Bucket.refund c;
+  check_bool "one token back" true (Bucket.try_take c);
+  check_bool "exactly one" false (Bucket.try_take c)
+
 let bucket_validation () =
   Alcotest.check_raises "rho <= 0"
     (Invalid_argument "Bucket.create: rho must be > 0") (fun () ->
@@ -765,6 +790,59 @@ let timewheel_same_slot_order () =
   check_int "the rest" 20 (List.length !fired);
   check_int "nothing pending" 0 (Timewheel.pending w)
 
+let timewheel_rearm_during_advance () =
+  (* Regression: a fire callback that re-arms with an already-due deadline
+     used to file against the stale hand, landing in a slot the sweep had
+     already drained — and firing one full wheel revolution late.  The
+     re-armed deadline hashes into the very slot being drained, the
+     nastiest case: it must fire in this advance. *)
+  let w = Timewheel.create ~slots:8 ~tick:1.0 ~now:0. () in
+  let fired = ref [] in
+  Timewheel.add w ~deadline:0.2 "first";
+  Timewheel.advance w ~now:0.5 (fun x ->
+      fired := x :: !fired;
+      if x = "first" then Timewheel.add w ~deadline:0.4 "rearmed");
+  check_bool "re-armed due entry fires in the same advance" true
+    (!fired = [ "rearmed"; "first" ]);
+  check_int "nothing left behind" 0 (Timewheel.pending w);
+  (* A re-arm into a future slot of the same sweep also fires now... *)
+  let fired = ref [] in
+  Timewheel.add w ~deadline:1.2 "a";
+  Timewheel.advance w ~now:3.5 (fun x ->
+      fired := x :: !fired;
+      if x = "a" then Timewheel.add w ~deadline:2.5 "b");
+  check_bool "chained deadline crossed later in the sweep" true
+    (!fired = [ "b"; "a" ]);
+  (* ...while a re-arm beyond [now] waits for its own slot, exactly one
+     slot boundary away, not a revolution away. *)
+  let fired = ref [] in
+  Timewheel.add w ~deadline:4.2 "c";
+  Timewheel.advance w ~now:4.5 (fun x ->
+      fired := x :: !fired;
+      if x = "c" then Timewheel.add w ~deadline:4.8 "d");
+  check_bool "not-yet-due re-arm does not fire early" true (!fired = [ "c" ]);
+  Timewheel.advance w ~now:5.1 (fun x -> fired := x :: !fired);
+  check_bool "and fires at the next slot boundary, not a revolution late"
+    true
+    (!fired = [ "d"; "c" ])
+
+let timewheel_fire_order_at_slot_boundary () =
+  (* Deadlines straddling a slot boundary, advanced exactly onto the
+     boundary: the earlier slot's entry fires, the later slot's does not,
+     even though both live one tick apart. *)
+  let w = Timewheel.create ~slots:4 ~tick:1.0 ~now:0. () in
+  let fired = ref [] in
+  Timewheel.add w ~deadline:0.9 "before";
+  Timewheel.add w ~deadline:1.0 "on";
+  Timewheel.add w ~deadline:1.1 "after";
+  Timewheel.advance w ~now:1.0 (fun x -> fired := x :: !fired);
+  check_bool "boundary advance fires up to and including now" true
+    (List.sort compare !fired = [ "before"; "on" ]);
+  Timewheel.advance w ~now:2.0 (fun x -> fired := x :: !fired);
+  check_bool "next tick collects the remainder" true
+    (List.sort compare !fired = [ "after"; "before"; "on" ]);
+  check_int "drained" 0 (Timewheel.pending w)
+
 (* ------------------------------------------------------------------ *)
 (* Keyed buckets: per-client isolation and LRU eviction (fake clock)   *)
 (* ------------------------------------------------------------------ *)
@@ -1118,11 +1196,17 @@ let () =
             timewheel_fires_by_deadline;
           Alcotest.test_case "same-slot batching" `Quick
             timewheel_same_slot_order;
+          Alcotest.test_case "re-arm during advance" `Quick
+            timewheel_rearm_during_advance;
+          Alcotest.test_case "fire order at slot boundary" `Quick
+            timewheel_fire_order_at_slot_boundary;
         ] );
       ( "bucket",
         [
           Alcotest.test_case "burst then refill" `Quick bucket_burst_then_refill;
           Alcotest.test_case "(rho,sigma) bound" `Quick bucket_rate_bound;
+          Alcotest.test_case "refund clamped at sigma" `Quick
+            bucket_refund_clamped;
           Alcotest.test_case "validation" `Quick bucket_validation;
           Alcotest.test_case "keyed isolation" `Quick keyed_bucket_isolation;
           Alcotest.test_case "keyed LRU eviction" `Quick
