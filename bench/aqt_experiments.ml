@@ -1454,6 +1454,138 @@ let feedback_grid rb =
      Horizon %d + 100 drain steps." horizon
 
 (* ------------------------------------------------------------------ *)
+(* FAB1/FAB2: datacenter fabrics                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Scenario = Aqt_fabric.Scenario
+module Traffic = Aqt_workload.Traffic
+
+let fab1_utils = [ (1, 2); (3, 4); (9, 10); (1, 1); (9, 8) ]
+let fab1_policies () = [ Policies.fifo; Policies.lifo; Policies.lis ]
+
+(* FAB1: queue growth under fat-tree incast across utilisation, FIFO vs
+   LIFO vs LIS.  15 senders converge on one receiver, so the receiver
+   downlink saturates at util 1 and over-subscribes at 9/8; the policies
+   shape who waits, not how much waits (work conservation), so max_queue
+   and backlog agree while dwell/latency split.  Runs on the SoA backend
+   (1 domain) — byte-identical to the record engine by the fabric
+   conformance family. *)
+let fabric_incast rb =
+  let horizon = 2_000 in
+  let rows = ref [] in
+  List.iter
+    (fun (policy : Policies.t) ->
+      List.iter
+        (fun (un, ud) ->
+          let t =
+            Scenario.make
+              ~topo:(Scenario.Fat_tree { k = 4 })
+              ~pattern:(Traffic.Incast { senders = 15 })
+              ~utilisation:(Ratio.make un ud) ~policy ~horizon ~seed:1 ()
+          in
+          let o = Scenario.run ~backend:(Scenario.Soa 1) t in
+          rows :=
+            [
+              policy.name;
+              Printf.sprintf "%d/%d" un ud;
+              Tbl.fi o.Scenario.injected;
+              Tbl.fi o.Scenario.absorbed;
+              Tbl.fi o.Scenario.in_flight;
+              Tbl.fi o.Scenario.max_queue;
+              Tbl.fi o.Scenario.peak_occupancy;
+              Tbl.fi o.Scenario.max_dwell;
+              Tbl.ff ~dec:2 o.Scenario.latency_mean;
+              Tbl.fb o.Scenario.legal;
+            ]
+            :: !rows)
+        fab1_utils)
+    (fab1_policies ());
+  Rb.table rb ~id:"fab1_incast"
+    ~headers:
+      [ "policy"; "util"; "injected"; "absorbed"; "in_flight"; "max_queue";
+        "peak_occupancy"; "max_dwell"; "latency_mean"; "legal" ]
+    (List.rev !rows);
+  notef rb
+    "Fat-tree(4) incast, 15 senders -> 1 receiver, flow sizes from the \
+     heavy-tailed default CDF, ECMP per flow.  Utilisation is the load on \
+     the receiver downlink; 9/8 over-subscribes it, so the backlog grows \
+     linearly with the horizon for every work-conserving policy.  Column \
+     `legal` re-checks each injection log against its compiled (rho, \
+     sigma_e) budget.  SoA backend, 1 domain, horizon %d + 200 drain \
+     steps." horizon
+
+let fab2_alphas = [ (1, 4); (1, 2); (1, 1); (2, 1); (4, 1) ]
+let fab2_totals = [ 8; 16; 32; 64 ]
+let fab2_partitioned = [ 1; 2; 4; 8 ]
+
+(* FAB2: shared Dynamic-Threshold vs statically partitioned buffers on a
+   spine-leaf hotspot.  Partitioning needs c slots on every edge (c * m
+   total) and still drops whenever a single queue wants more than c;
+   a DT pool concentrates a far smaller total where the hotspot lands,
+   with alpha trading drop rate against how much one queue may hog. *)
+let fabric_dt_grid rb =
+  let horizon = 2_000 in
+  let scenario capacity =
+    Scenario.make
+      ~topo:(Scenario.Spine_leaf { spines = 4; leaves = 8; hosts_per_leaf = 4 })
+      ~pattern:(Traffic.Hotspot { hot_num = 1; hot_den = 2 })
+      ~utilisation:Ratio.one ~capacity ~horizon ~seed:1 ()
+  in
+  let m =
+    D.n_edges
+      (Scenario.build_topo
+         (Scenario.Spine_leaf { spines = 4; leaves = 8; hosts_per_leaf = 4 }))
+        .Build.graph
+  in
+  let rows = ref [] in
+  let record label alpha total o =
+    rows :=
+      [
+        label;
+        alpha;
+        Tbl.fi total;
+        Tbl.fi o.Scenario.injected;
+        Tbl.fi o.Scenario.dropped;
+        Tbl.ff ~dec:4
+          (float_of_int o.Scenario.dropped
+          /. float_of_int (max 1 o.Scenario.injected));
+        Tbl.fi o.Scenario.peak_occupancy;
+        Tbl.fi o.Scenario.max_queue;
+        Tbl.fb o.Scenario.legal;
+      ]
+      :: !rows
+  in
+  List.iter
+    (fun c ->
+      let o = Scenario.run (scenario (Capacity.uniform c)) in
+      record "partitioned" (Printf.sprintf "c=%d" c) (c * m) o)
+    fab2_partitioned;
+  List.iter
+    (fun total ->
+      List.iter
+        (fun (an, ad) ->
+          let o =
+            Scenario.run
+              (scenario (Capacity.shared ~alpha_num:an ~alpha_den:ad total))
+          in
+          record "shared-dt" (Printf.sprintf "%d/%d" an ad) total o)
+        fab2_alphas)
+    fab2_totals;
+  Rb.table rb ~id:"fab2_dt_grid"
+    ~headers:
+      [ "buffers"; "alpha"; "total"; "injected"; "dropped"; "drop_rate";
+        "peak_occupancy"; "max_queue"; "legal" ]
+    (List.rev !rows);
+  notef rb
+    "Spine-leaf(4,8,4) hotspot (permutation background, non-hot senders \
+     redirect to one hot host with probability 1/2) at utilisation 1.  \
+     Partitioned rows give every one of the %d edges its own drop-tail \
+     queue of depth c (total c*%d slots); shared-dt rows give all edges \
+     one Dynamic-Threshold pool of `total` slots (admit while queue < \
+     alpha * free slots).  Record backend, horizon %d + 200 drain steps."
+    m m horizon
+
+(* ------------------------------------------------------------------ *)
 (* B1-B4: bechamel microbenchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1897,6 +2029,23 @@ let build () =
       ("horizon", Spec.Int 2000);
     ]
     feedback_grid;
+  reg "fab1" "Datacenter fabric - fat-tree incast queue growth by policy"
+    ~tags:[ "fabric" ]
+    [
+      ("utils", plist fab1_utils);
+      ("policies", Spec.Int 3);
+      ("horizon", Spec.Int 2000);
+    ]
+    fabric_incast;
+  reg "fab2" "Datacenter fabric - shared-DT vs partitioned buffers on a hotspot"
+    ~tags:[ "fabric" ]
+    [
+      ("alphas", plist fab2_alphas);
+      ("totals", ilist fab2_totals);
+      ("partitioned", ilist fab2_partitioned);
+      ("horizon", Spec.Int 2000);
+    ]
+    fabric_dt_grid;
   reg "a7" "Robustness - Thm 3.17 under superimposed random cross-traffic"
     ~tags:[ "ablation" ]
     [

@@ -1231,9 +1231,18 @@ let loadgen_cmd =
       & info [ "selftest-burst" ] ~docv:"SIGMA"
           ~doc:"Burst budget of the throwaway selftest server.")
   in
+  let snapshot_every =
+    Arg.(
+      value & opt float 0.
+      & info [ "snapshot-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Capture an in-run metrics snapshot every $(docv); the series \
+             goes to $(b,--journal) as one JSONL event per tick.  0 (the \
+             default) records only the final snapshot.")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No chatter.") in
   let run port host conns requests rate pipeline path seed run_timeout csv
-      journal selftest selftest_rate selftest_burst quiet =
+      journal selftest selftest_rate selftest_burst snapshot_every quiet =
     let emit (r : Loadgen.result) =
       (match csv with
       | None -> ()
@@ -1250,7 +1259,8 @@ let loadgen_cmd =
       exit
         (if
            Loadgen.selftest ~quiet ~requests:cfg_requests ~conns:cfg_conns
-             ~rho:selftest_rate ~sigma:selftest_burst ~emit ()
+             ~rho:selftest_rate ~sigma:selftest_burst
+             ~snapshot_every ~emit ()
          then 0
          else 1)
     end
@@ -1271,6 +1281,7 @@ let loadgen_cmd =
           seed;
           run_timeout;
           quiet;
+          snapshot_every;
         }
       in
       match Loadgen.run cfg with
@@ -1295,7 +1306,7 @@ let loadgen_cmd =
     Term.(
       const run $ port $ host $ conns $ requests $ rate $ pipeline $ path
       $ seed $ run_timeout $ csv $ journal $ selftest $ selftest_rate
-      $ selftest_burst $ quiet)
+      $ selftest_burst $ snapshot_every $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* check: differential conformance + fault-injection self-test         *)
@@ -1381,7 +1392,7 @@ let check_cmd =
                  | Some f -> f
                  | None ->
                      Printf.eprintf
-                       "unknown family %S (free|shared-bucket|windowed|leaky|capacity|local|feedback)\n"
+                       "unknown family %S (free|shared-bucket|windowed|leaky|capacity|local|feedback|fabric)\n"
                        name;
                      exit 2)
                names)
@@ -1476,9 +1487,9 @@ let check_cmd =
           ~doc:
             "Restrict generation to the listed scenario families \
              ($(b,free), $(b,shared-bucket), $(b,windowed), $(b,leaky), \
-             $(b,capacity), $(b,local), $(b,feedback)).  Default: all \
-             seven.  Note the seed-to-scenario mapping depends on the \
-             restriction.")
+             $(b,capacity), $(b,local), $(b,feedback), $(b,fabric)).  \
+             Default: all eight.  Note the seed-to-scenario mapping \
+             depends on the restriction.")
   in
   let faults =
     Arg.(
@@ -1613,6 +1624,261 @@ let soa_scale_cmd =
           packet.")
     Term.(const run $ edges $ domains $ steps $ out)
 
+(* ------------------------------------------------------------------ *)
+(* fabric: datacenter-fabric scenarios (spine-leaf / fat-tree)          *)
+(* ------------------------------------------------------------------ *)
+
+let fabric_cmd =
+  let module Scenario = Aqt_fabric.Scenario in
+  let module Traffic = Aqt_workload.Traffic in
+  let module Capacity = Aqt_capacity.Model in
+  let topo_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "spine-leaf"; dims ] -> (
+          match String.split_on_char ',' dims with
+          | [ s'; l; h ] -> (
+              try
+                Ok
+                  (Scenario.Spine_leaf
+                     {
+                       spines = int_of_string s';
+                       leaves = int_of_string l;
+                       hosts_per_leaf = int_of_string h;
+                     })
+              with _ -> Error (`Msg "bad spine-leaf dims"))
+          | _ -> Error (`Msg "spine-leaf wants SPINES,LEAVES,HOSTS"))
+      | [ "fat-tree"; k ] -> (
+          try Ok (Scenario.Fat_tree { k = int_of_string k })
+          with _ -> Error (`Msg "bad fat-tree arity"))
+      | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown topology %S (spine-leaf:S,L,H | fat-tree:K)" s))
+    in
+    Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Scenario.topo_name t))
+  in
+  let pattern_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "permutation" ] -> Ok Traffic.Permutation
+      | [ "all-to-all" ] -> Ok Traffic.All_to_all
+      | [ "incast"; n ] -> (
+          try Ok (Traffic.Incast { senders = int_of_string n })
+          with _ -> Error (`Msg "bad incast sender count"))
+      | [ "hotspot"; f ] -> (
+          match String.split_on_char '/' f with
+          | [ n; d ] -> (
+              try
+                Ok
+                  (Traffic.Hotspot
+                     { hot_num = int_of_string n; hot_den = int_of_string d })
+              with _ -> Error (`Msg "bad hotspot fraction"))
+          | _ -> Error (`Msg "hotspot wants N/D"))
+      | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown pattern %S (permutation | incast:N | all-to-all | \
+                   hotspot:N/D)"
+                  s))
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Traffic.pattern_name p))
+  in
+  let capacity_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "unbounded" ] -> Ok Capacity.unbounded
+      | [ "shared"; total ] -> (
+          try Ok (Capacity.shared (int_of_string total))
+          with _ -> Error (`Msg "bad shared total"))
+      | [ "shared"; total; alpha ] -> (
+          match String.split_on_char '/' alpha with
+          | [ n; d ] -> (
+              try
+                Ok
+                  (Capacity.shared
+                     ~alpha_num:(int_of_string n) ~alpha_den:(int_of_string d)
+                     (int_of_string total))
+              with _ -> Error (`Msg "bad shared capacity"))
+          | _ -> Error (`Msg "alpha wants N/D"))
+      | [ "uniform"; k ] -> (
+          try Ok (Capacity.uniform (int_of_string k))
+          with _ -> Error (`Msg "bad uniform capacity"))
+      | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown capacity %S (unbounded | uniform:K | shared:TOTAL \
+                   | shared:TOTAL:A/B)"
+                  s))
+    in
+    Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Capacity.describe c))
+  in
+  let print_outcome (o : Scenario.outcome) =
+    let c = Tbl.create ~headers:[ "metric"; "value" ] in
+    Tbl.add_row c [ "backend"; Scenario.backend_name o.backend ];
+    Tbl.add_row c [ "nodes"; Tbl.fi o.nodes ];
+    Tbl.add_row c [ "edges"; Tbl.fi o.edges ];
+    Tbl.add_row c [ "hosts"; Tbl.fi o.n_hosts ];
+    Tbl.add_row c [ "pairs"; Tbl.fi o.n_pairs ];
+    Tbl.add_row c [ "flows"; Tbl.fi o.n_flows ];
+    Tbl.add_row c [ "injected"; Tbl.fi o.injected ];
+    Tbl.add_row c [ "absorbed"; Tbl.fi o.absorbed ];
+    Tbl.add_row c [ "dropped"; Tbl.fi o.dropped ];
+    Tbl.add_row c [ "in flight"; Tbl.fi o.in_flight ];
+    Tbl.add_row c [ "max queue"; Tbl.fi o.max_queue ];
+    Tbl.add_row c [ "peak occupancy"; Tbl.fi o.peak_occupancy ];
+    Tbl.add_row c [ "max dwell"; Tbl.fi o.max_dwell ];
+    Tbl.add_row c [ "mean latency"; Printf.sprintf "%.2f" o.latency_mean ];
+    Tbl.add_row c [ "admissible"; (if o.legal then "yes" else "NO") ];
+    Tbl.print c
+  in
+  let run list name_arg topo pattern util conns policy capacity horizon drain
+      seed backend domains =
+    if list then begin
+      let tbl =
+        Tbl.create
+          ~headers:
+            [ "name"; "topology"; "pattern"; "util"; "policy"; "capacity" ]
+      in
+      List.iter
+        (fun (t : Scenario.t) ->
+          Tbl.add_row tbl
+            [
+              t.name;
+              Scenario.topo_name t.topo;
+              Traffic.pattern_name t.pattern;
+              Ratio.to_string t.utilisation;
+              t.policy.name;
+              Capacity.describe t.capacity;
+            ])
+        (Scenario.catalog ());
+      Tbl.print tbl
+    end
+    else begin
+      let base =
+        match name_arg with
+        | Some n -> (
+            match Scenario.find_catalog n with
+            | Some t -> t
+            | None ->
+                Printf.eprintf
+                  "unknown scenario %S (try fabric --list)\n" n;
+                exit 2)
+        | None ->
+            Scenario.make ~topo ~pattern ~utilisation:util
+              ~conns_per_pair:conns ~policy ~capacity ~horizon ~drain ~seed ()
+      in
+      let backend =
+        match backend with
+        | "record" -> Scenario.Record
+        | "soa" -> Scenario.Soa domains
+        | other ->
+            Printf.eprintf "unknown backend %S (record|soa)\n" other;
+            exit 2
+      in
+      let _, compiled = Scenario.compile base in
+      print_endline (Traffic.describe compiled);
+      let o = Scenario.run ~backend base in
+      print_outcome o;
+      if not o.Scenario.legal then exit 1
+    end
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the canned scenarios.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Run a canned scenario from $(b,--list) instead of building \
+                one from flags.")
+  in
+  let topo =
+    Arg.(
+      value
+      & opt topo_conv (Scenario.Fat_tree { k = 4 })
+      & info [ "topo" ] ~docv:"TOPO"
+          ~doc:"$(b,spine-leaf:S,L,H) or $(b,fat-tree:K) (K even).")
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt pattern_conv Traffic.Permutation
+      & info [ "pattern" ] ~docv:"PATTERN"
+          ~doc:
+            "$(b,permutation), $(b,incast:N), $(b,all-to-all) or \
+             $(b,hotspot:N/D).")
+  in
+  let util =
+    Arg.(
+      value
+      & opt ratio_conv (Ratio.make 9 10)
+      & info [ "util" ] ~docv:"RHO"
+          ~doc:"Target utilisation of the busiest host access link.")
+  in
+  let conns =
+    Arg.(
+      value & opt int 1
+      & info [ "conns" ] ~docv:"N" ~doc:"Connections per host pair.")
+  in
+  let policy =
+    Arg.(
+      value & opt policy_conv Policies.fifo
+      & info [ "policy" ] ~docv:"P" ~doc:"Queueing policy.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt capacity_conv Capacity.unbounded
+      & info [ "capacity" ] ~docv:"CAP"
+          ~doc:
+            "$(b,unbounded), $(b,uniform:K), $(b,shared:TOTAL) or \
+             $(b,shared:TOTAL:A/B) (shared Dynamic-Threshold with alpha = \
+             A/B).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 2000
+      & info [ "horizon" ] ~docv:"T" ~doc:"Injection steps.")
+  in
+  let drain =
+    Arg.(
+      value & opt int 200
+      & info [ "drain" ] ~docv:"T"
+          ~doc:"Injection-free steps before reading counters.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"K" ~doc:"Workload seed.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "record"
+      & info [ "backend" ] ~docv:"ENGINE"
+          ~doc:"$(b,record) (default) or $(b,soa).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domain count for $(b,--backend soa).")
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "Run a datacenter-fabric scenario: a spine-leaf or fat-tree \
+          topology, a flow-level workload compiled to an admissible \
+          schedule (ECMP routes, flow-size CDF, utilisation shaping), a \
+          queueing policy and a buffer model.  Verifies the injection log \
+          against its compiled (rho, sigma) budget and exits nonzero if \
+          the admissibility check fails.")
+    Term.(
+      const run $ list $ name_arg $ topo $ pattern $ util $ conns $ policy
+      $ capacity $ horizon $ drain $ seed $ backend $ domains)
+
 let () =
   let doc = "adversarial queuing theory simulator (Lotker-Patt-Shamir-Rosen)" in
   let info = Cmd.info "aqt_sim" ~version:"1.0.0" ~doc in
@@ -1623,5 +1889,5 @@ let () =
             params_cmd; instability_cmd; stability_cmd; simulate_cmd;
             sweep_cmd; plan_cmd; fluid_cmd; replay_cmd; workloads_cmd;
             spacetime_cmd; campaign_cmd; report_cmd; bench_gate_cmd; check_cmd;
-            soa_scale_cmd; serve_cmd; loadgen_cmd;
+            soa_scale_cmd; serve_cmd; loadgen_cmd; fabric_cmd;
           ]))

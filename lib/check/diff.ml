@@ -444,6 +444,33 @@ let check_obligation scenario net = function
       | Ok () -> ()
       | Error v ->
           fail "local" (Format.asprintf "%a" Rate_check.pp_violation v))
+  | Gen.Routes_valid ->
+      Array.iter
+        (fun (t, route) ->
+          if not (Digraph.route_is_simple scenario.Gen.graph route) then
+            fail "routes" ~step:t
+              (Printf.sprintf "injected route [%s] is not a simple path"
+                 (String.concat ";"
+                    (List.map string_of_int (Array.to_list route)))))
+        (Network.injection_log net)
+  | Gen.Drop_accounting ->
+      let m = Digraph.n_edges scenario.Gen.graph in
+      let per_edge = ref 0 in
+      for e = 0 to m - 1 do
+        per_edge := !per_edge + Network.dropped_on_edge net e
+      done;
+      let dropped = Network.dropped net in
+      if !per_edge <> dropped then
+        fail "drops"
+          (Printf.sprintf "per-edge drops sum to %d but %d dropped" !per_edge
+             dropped);
+      if Network.displaced net > dropped then
+        fail "drops"
+          (Printf.sprintf "%d displaced exceeds %d dropped"
+             (Network.displaced net) dropped);
+      if Capacity.is_unbounded scenario.Gen.capacity && dropped <> 0 then
+        fail "drops"
+          (Printf.sprintf "unbounded buffers dropped %d packets" dropped)
   | Gen.Dwell_bound { w; rate; d } -> (
       match Stability.verify_run ~w ~rate ~d net with
       | None | Some { Stability.ok = true; _ } -> ()

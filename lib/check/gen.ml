@@ -8,6 +8,7 @@ module Policies = Aqt_policy.Policies
 module Stock = Aqt_adversary.Stock
 module Flow = Aqt_adversary.Flow
 module Capacity = Aqt_capacity.Model
+module Traffic = Aqt_workload.Traffic
 
 type obligation =
   | Rate_ok of Ratio.t
@@ -15,6 +16,8 @@ type obligation =
   | Leaky_ok of { b : int; rate : Ratio.t }
   | Local_ok of { rate : Ratio.t; sigmas : int array }
   | Dwell_bound of { w : int; rate : Ratio.t; d : int }
+  | Routes_valid
+  | Drop_accounting
 
 type feedback = { pool : int array array; hot : int }
 
@@ -357,6 +360,87 @@ let feedback_routing prng seed =
     obligations = [ Rate_ok rate ];
   }
 
+(* Datacenter fabric: a tiny spine-leaf or fat-tree with ECMP route
+   sets, a flow-level Traffic workload compiled to an admissible
+   per-step schedule, under unbounded or small shared-DT buffers.  The
+   obligations assert the three fabric-specific contracts: the compiled
+   (rho, sigma_e) budget really holds on the injection log, every
+   injected route is a valid simple path of the fabric, and the drop
+   counters balance. *)
+let fabric prng seed =
+  let fab, topo =
+    if Prng.bool prng then begin
+      let spines = 1 + Prng.int prng 2
+      and leaves = 2 + Prng.int prng 2
+      and hosts_per_leaf = 1 + Prng.int prng 2 in
+      ( Build.spine_leaf ~spines ~leaves ~hosts_per_leaf,
+        Printf.sprintf "spine-leaf(%d,%d,%d)" spines leaves hosts_per_leaf )
+    end
+    else (Build.fat_tree ~k:2, "fat-tree(2)")
+  in
+  let policy = pick_policy prng in
+  let tie_order = pick_tie prng in
+  let pattern =
+    match Prng.int prng 4 with
+    | 0 -> Traffic.Permutation
+    | 1 -> Traffic.Incast { senders = 1 + Prng.int prng 3 }
+    | 2 -> Traffic.All_to_all
+    | _ -> Traffic.Hotspot { hot_num = 1 + Prng.int prng 2; hot_den = 2 }
+  in
+  let horizon = 20 + Prng.int prng 41 in
+  let spec =
+    {
+      Traffic.pattern;
+      conns_per_pair = 1 + Prng.int prng 2;
+      utilisation = Ratio.make (1 + Prng.int prng 4) 4;
+      flow_cdf = Traffic.short_cdf;
+      horizon;
+      seed;
+    }
+  in
+  let compiled =
+    Traffic.compile
+      ~n_hosts:(Array.length fab.Build.hosts)
+      ~m:(Digraph.n_edges fab.Build.graph)
+      ~routes:fab.Build.routes spec
+  in
+  let capacity =
+    if Prng.bool prng then Capacity.unbounded
+    else
+      Capacity.shared
+        ~alpha_num:(1 + Prng.int prng 2)
+        ~alpha_den:(1 + Prng.int prng 2)
+        (4 + Prng.int prng 29)
+  in
+  let schedule =
+    Array.map
+      (List.map (fun route : Network.injection -> { route; tag = "fab" }))
+      compiled.Traffic.schedule
+  in
+  {
+    seed;
+    label =
+      Printf.sprintf "fabric %s %s %s %s" topo
+        (Traffic.pattern_name pattern)
+        policy.name
+        (Capacity.describe capacity);
+    graph = fab.Build.graph;
+    policy;
+    tie_order;
+    initial = [];
+    schedule;
+    reroutes = false;
+    capacity;
+    feedback = None;
+    obligations =
+      [
+        Local_ok
+          { rate = compiled.Traffic.rate; sigmas = compiled.Traffic.sigmas };
+        Routes_valid;
+        Drop_accounting;
+      ];
+  }
+
 type family =
   | Free
   | Shared_bucket
@@ -365,6 +449,7 @@ type family =
   | Capacity_regime
   | Local_bursty
   | Feedback_routing
+  | Fabric
 
 let all_families =
   [
@@ -375,6 +460,7 @@ let all_families =
     Capacity_regime;
     Local_bursty;
     Feedback_routing;
+    Fabric;
   ]
 
 let family_name = function
@@ -385,6 +471,7 @@ let family_name = function
   | Capacity_regime -> "capacity"
   | Local_bursty -> "local"
   | Feedback_routing -> "feedback"
+  | Fabric -> "fabric"
 
 let family_of_string = function
   | "free" -> Some Free
@@ -394,6 +481,7 @@ let family_of_string = function
   | "capacity" -> Some Capacity_regime
   | "local" | "local-burst" -> Some Local_bursty
   | "feedback" -> Some Feedback_routing
+  | "fabric" | "dc" -> Some Fabric
   | _ -> None
 
 let build = function
@@ -404,6 +492,7 @@ let build = function
   | Capacity_regime -> capacity_regime
   | Local_bursty -> local_burst
   | Feedback_routing -> feedback_routing
+  | Fabric -> fabric
 
 let generate ?(families = all_families) seed =
   if families = [] then invalid_arg "Gen.generate: empty family list";
@@ -424,6 +513,9 @@ let pp_obligation fmt = function
   | Dwell_bound { w; rate; d } ->
       Format.fprintf fmt "dwell bound (w=%d, r=%a, d=%d, Thm 4.1/4.3)" w
         Ratio.pp rate d
+  | Routes_valid -> Format.fprintf fmt "injected routes are simple paths"
+  | Drop_accounting ->
+      Format.fprintf fmt "drop counters balance (per-edge, displaced)"
 
 let pp fmt s =
   Format.fprintf fmt "@[<v>seed %d: %s@," s.seed s.label;

@@ -8,7 +8,7 @@
     schedule, and the list of {e obligations} the run must satisfy beyond
     agreeing with the reference model.
 
-    Seven families are drawn (the family is the seed's first decision):
+    Eight families are drawn (the family is the seed's first decision):
 
     - {b free}: arbitrary injection schedules over rings and lines, any
       deterministic policy, optional rerouting — maximal schedule
@@ -38,10 +38,16 @@
       choice and the hot-edge truncation pass from its {e own} observed
       queue vector, so observation divergence becomes buffer divergence —
       obligation [Rate_ok] (one aggregate release bucket bounds every edge
-      regardless of route choice).
+      regardless of route choice);
+    - {b fabric}: a tiny spine-leaf or fat-tree with ECMP route sets and a
+      flow-level {!Aqt_workload.Traffic} workload compiled to an
+      admissible schedule, under unbounded or small shared-DT buffers —
+      obligations [Local_ok] (the compiled (rho, sigma_e) budget holds on
+      the log), [Routes_valid] and [Drop_accounting].
 
-    All families except {b capacity} carry the unbounded capacity model,
-    so the paper's regime keeps its full differential coverage.
+    All families except {b capacity} and {b fabric} carry the unbounded
+    capacity model, so the paper's regime keeps its full differential
+    coverage.
 
     Schedules from stock adversaries are materialised once at generation
     time, so the reference model, the fast engine and the traced engine
@@ -63,6 +69,13 @@ type obligation =
   | Dwell_bound of { w : int; rate : Aqt_util.Ratio.t; d : int }
       (** [Aqt.Stability.verify_run] must not report a violated theorem
           bound (scenarios where no theorem applies verify vacuously). *)
+  | Routes_valid
+      (** Every route in the injection log is a simple path of the
+          scenario graph ([Digraph.route_is_simple]). *)
+  | Drop_accounting
+      (** Per-edge drop counters sum to the global drop counter,
+          displacements never exceed drops, and an unbounded capacity
+          model drops nothing. *)
 
 type feedback = { pool : int array array; hot : int }
 (** The feedback-routing scenario parameters: the candidate route pool and
@@ -102,19 +115,20 @@ type family =
   | Capacity_regime
   | Local_bursty
   | Feedback_routing
+  | Fabric
 
 val all_families : family list
 
 val family_name : family -> string
 (** The CLI name: ["free"], ["shared-bucket"], ["windowed"], ["leaky"],
-    ["capacity"], ["local"], ["feedback"]. *)
+    ["capacity"], ["local"], ["feedback"], ["fabric"]. *)
 
 val family_of_string : string -> family option
-(** Inverse of {!family_name} (also accepts ["shared"] and
-    ["local-burst"]). *)
+(** Inverse of {!family_name} (also accepts ["shared"], ["local-burst"]
+    and ["dc"]). *)
 
 val generate : ?families:family list -> int -> scenario
-(** The scenario of a seed, drawn from [families] (default: all seven).
+(** The scenario of a seed, drawn from [families] (default: all eight).
     Total: every seed yields a well-formed scenario.  Restricting
     [families] changes which scenario a given seed maps to.
     @raise Invalid_argument on an empty family list. *)

@@ -386,6 +386,114 @@ let render_feedback_heatmap ctx =
         ~rows:(List.map (fun r -> "r=" ^ r) rows)
         ~cols values
 
+(* The fabric figures read the fab1/fab2 campaign tables: the incast
+   dwell curves split by policy (queue *sizes* are policy-invariant
+   under work conservation, so the interesting signal is who waits),
+   and the shared-DT drop-rate grid over (alpha, total). *)
+let render_fabric_incast ctx =
+  let title = "FAB1 - fat-tree incast: oldest-packet dwell by policy" in
+  match find_table ctx ~experiment:"fab1" ~id:"fab1_incast" with
+  | None -> Plot.render ~title []
+  | Some t ->
+      let policy = column_s t "policy" in
+      let util = column t "util" in
+      let dwell = column t "max_dwell" in
+      let groups = ref [] in
+      Array.iteri
+        (fun i p ->
+          let pt = (util.(i), dwell.(i)) in
+          match List.assoc_opt p !groups with
+          | Some pts -> pts := pt :: !pts
+          | None -> groups := (p, ref [ pt ]) :: !groups)
+        policy;
+      let series =
+        List.rev_map
+          (fun (p, pts) -> Plot.series p (Array.of_list (List.rev !pts)))
+          !groups
+      in
+      Plot.render ~x_label:"receiver-downlink utilisation"
+        ~y_label:"max dwell (steps in flight)" ~title series
+
+let render_fabric_dt ctx =
+  let title = "FAB2 - shared-DT drop rate over (alpha, total slots)" in
+  match find_table ctx ~experiment:"fab2" ~id:"fab2_dt_grid" with
+  | None -> Heatmap.render ~title ~rows:[] ~cols:[] [||]
+  | Some t ->
+      let buffers = column_s t "buffers" in
+      let alpha = column_s t "alpha" in
+      let total = column_s t "total" in
+      let dr = column t "drop_rate" in
+      let push l v = if not (List.mem v !l) then l := !l @ [ v ] in
+      let rows = ref [] and cols = ref [] in
+      Array.iteri
+        (fun i b ->
+          if b = "shared-dt" then begin
+            push rows alpha.(i);
+            push cols total.(i)
+          end)
+        buffers;
+      let idx l v =
+        let rec go i = function
+          | [] -> 0
+          | x :: tl -> if x = v then i else go (i + 1) tl
+        in
+        go 0 l
+      in
+      let values =
+        Array.make_matrix (List.length !rows) (List.length !cols) Float.nan
+      in
+      Array.iteri
+        (fun i b ->
+          if b = "shared-dt" then
+            values.(idx !rows alpha.(i)).(idx !cols total.(i)) <- dr.(i))
+        buffers;
+      let annot =
+        Array.map
+          (Array.map (fun v ->
+               if Float.is_nan v then None
+               else if v = 0.0 then Some "0"
+               else Some (Printf.sprintf "%.1f%%" (100. *. v))))
+          values
+      in
+      Heatmap.render ~annot ~x_label:"shared pool size (slots)"
+        ~y_label:"DT alpha" ~title
+        ~rows:(List.map (fun a -> "alpha=" ^ a) !rows)
+        ~cols:!cols values
+
+(* The loadgen figure reads the committed journal, not the campaign
+   cache: `aqt_sim loadgen --snapshot-every` appends one Snapshot per
+   tick, and the committed file makes the figure byte-deterministic. *)
+let loadgen_journal_file =
+  Filename.concat "bench_results" "loadgen_journal.jsonl"
+
+let render_loadgen_latency _ =
+  let title = "Loadgen - latency quantiles over one overload run" in
+  let events = try Journal.load loadgen_journal_file with _ -> [] in
+  let snaps =
+    List.filter_map
+      (function
+        | Journal.Snapshot { label = "loadgen"; values; _ } -> Some values
+        | _ -> None)
+      events
+  in
+  let pts key =
+    Array.of_list
+      (List.filter_map
+         (fun values ->
+           match
+             (List.assoc_opt "elapsed_s" values, List.assoc_opt key values)
+           with
+           | Some x, Some y -> Some (x, 1000. *. y)
+           | _ -> None)
+         snaps)
+  in
+  Plot.render ~x_label:"elapsed seconds" ~y_label:"latency (ms)" ~title
+    [
+      Plot.series "p50" (pts "loadgen_request_seconds_p50");
+      Plot.series "p99" (pts "loadgen_request_seconds_p99");
+      Plot.series "p999" (pts "loadgen_request_seconds_p999");
+    ]
+
 let render_spacetime _ =
   (* The `aqt_sim spacetime` scenario: small enough to read (and to
      commit as SVG), big enough to show the pump moving the queue. *)
@@ -612,6 +720,55 @@ let default_figures () =
          destabilize the ring.";
       experiments = [ "n2" ];
       render = render_feedback_heatmap;
+    };
+    {
+      id = "fabric_incast";
+      title = "FAB1 - fat-tree incast by policy and load";
+      caption =
+        "Campaign experiment `fab1`: 15 senders converge on one receiver \
+         of a k = 4 fat-tree, flow sizes from a heavy-tailed CDF, one \
+         series per queueing policy, swept over receiver-downlink \
+         utilisation.  Queue *sizes* are identical across policies \
+         (work conservation fixes how much waits), so the figure shows \
+         the max dwell — how long the unluckiest packet waits: FIFO and \
+         longest-in-system stay near the backlog drain time while LIFO \
+         starves old packets for the whole run, and every policy's dwell \
+         blows up once utilisation passes 1.";
+      experiments = [ "fab1" ];
+      render = render_fabric_incast;
+    };
+    {
+      id = "fabric_dt";
+      title = "FAB2 - shared Dynamic-Threshold buffers on a hotspot";
+      caption =
+        "Campaign experiment `fab2`: a spine-leaf(4, 8, 4) hotspot at \
+         utilisation 1, all 128 edges sharing one Dynamic-Threshold \
+         pool (admit while queue < alpha * free), swept over alpha and \
+         the pool size (cell label = drop rate).  Small alpha starves \
+         the hotspot queue even when slots are free; large alpha lets \
+         it hog the pool.  The table adds the partitioned baseline: \
+         per-edge buffers still drop packets at 1024 total slots (depth \
+         8 on all 128 edges), while a shared pool of 64 drops nothing — \
+         the shared-memory advantage of arXiv:1707.03856 on an \
+         adversarial-queueing engine.";
+      experiments = [ "fab2" ];
+      render = render_fabric_dt;
+    };
+    {
+      id = "loadgen_latency";
+      title = "Loadgen - latency quantiles over a run";
+      caption =
+        "p50/p99/p999 request latency over the course of one loadgen \
+         overload run against the serve daemon's (rho, sigma) admission \
+         envelope, read from the committed \
+         `bench_results/loadgen_journal.jsonl` (regenerate with `aqt_sim \
+         loadgen --selftest --snapshot-every 0.25 --journal ...`).  The \
+         tail settles once the token bucket's initial burst allowance is \
+         spent and admission reaches steady state — bounded latency \
+         under 10x overload is the serving-plane mirror of bounded \
+         queues under admissible injection.";
+      experiments = [];
+      render = render_loadgen_latency;
     };
     {
       id = "spacetime";

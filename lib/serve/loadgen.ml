@@ -17,6 +17,7 @@ type config = {
   run_timeout : float;
   clock : unit -> float;
   quiet : bool;
+  snapshot_every : float;
 }
 
 (* Empirical web-search-style flow CDF (heavy tail), rescaled to header
@@ -48,6 +49,7 @@ let default_config =
     run_timeout = 300.;
     clock = Clock.monotonic;
     quiet = true;
+    snapshot_every = 0.;
   }
 
 type result = {
@@ -63,6 +65,7 @@ type result = {
   p99 : float;
   p999 : float;
   metrics : Metrics.t;
+  snapshots : (float * (string * float) list) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -322,6 +325,14 @@ let run cfg =
   let sched = ref start in
   let due = Queue.create () in
   let next_report = ref (start +. 1.) in
+  (* Periodic metric snapshots (elapsed seconds, registry dump) for the
+     latency time-series figure; off when snapshot_every = 0. *)
+  let snaps = ref [] in
+  let next_snap =
+    ref
+      (if cfg.snapshot_every > 0. then start +. cfg.snapshot_every
+       else Float.infinity)
+  in
   let live_slots () =
     let n = ref 0 in
     Array.iter (function Some c when c.alive -> incr n | _ -> ()) st.slots;
@@ -440,6 +451,11 @@ let run cfg =
               if readable && c.alive then on_readable st rbuf i c
             end);
     Metrics.set_gauge open_gauge (float_of_int (live_slots ()));
+    (let now = cfg.clock () in
+     if now >= !next_snap then begin
+       snaps := (now -. start, Metrics.snapshot metrics) :: !snaps;
+       next_snap := !next_snap +. cfg.snapshot_every
+     end);
     if not cfg.quiet then begin
       let now = cfg.clock () in
       if now >= !next_report then begin
@@ -462,6 +478,8 @@ let run cfg =
     Metrics.inc ~by:lost st.errors_c
   end;
   let duration = Float.max 1e-9 (cfg.clock () -. start) in
+  if cfg.snapshot_every > 0. then
+    snaps := (duration, Metrics.snapshot metrics) :: !snaps;
   {
     issued = st.issued;
     completed = st.completed;
@@ -475,6 +493,7 @@ let run cfg =
     p99 = Metrics.quantile st.latency 0.99;
     p999 = Metrics.quantile st.latency 0.999;
     metrics;
+    snapshots = List.rev !snaps;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -514,15 +533,31 @@ let result_csv (r : result) =
     r.issued r.completed r.errors r.ok r.shed r.rejected r.duration
     r.throughput r.p50 r.p99 r.p999
 
+(* One Snapshot per in-run tick (plus the final state).  Each carries
+   [elapsed_s] so consumers (the report's latency time-series figure)
+   can plot against run-relative time without trusting wall clocks. *)
 let write_journal ~path (r : result) =
   let j = Journal.create path in
-  Journal.write j
-    (Journal.Snapshot
-       {
-         at = Clock.wall ();
-         label = "loadgen";
-         values = Metrics.snapshot r.metrics;
-       });
+  let wall = Clock.wall () in
+  let base = wall -. r.duration in
+  List.iter
+    (fun (elapsed, values) ->
+      Journal.write j
+        (Journal.Snapshot
+           {
+             at = base +. elapsed;
+             label = "loadgen";
+             values = ("elapsed_s", elapsed) :: values;
+           }))
+    r.snapshots;
+  if r.snapshots = [] then
+    Journal.write j
+      (Journal.Snapshot
+         {
+           at = wall;
+           label = "loadgen";
+           values = ("elapsed_s", r.duration) :: Metrics.snapshot r.metrics;
+         });
   Journal.close j
 
 (* ------------------------------------------------------------------ *)
@@ -555,7 +590,8 @@ let admitted_path =
    answered tail stays bounded.  [requests] and [conns] scale from a
    quick tier-1 check to the CI load run. *)
 let selftest ?(quiet = false) ?(requests = 20_000) ?(conns = 64)
-    ?(rho = 2000.) ?(sigma = 200) ?(emit = fun (_ : result) -> ()) () =
+    ?(rho = 2000.) ?(sigma = 200) ?(snapshot_every = 0.)
+    ?(emit = fun (_ : result) -> ()) () =
   let scfg =
     {
       Server.default_config with
@@ -589,6 +625,7 @@ let selftest ?(quiet = false) ?(requests = 20_000) ?(conns = 64)
         pipeline = 8;
         paths = [ (1, admitted_path) ];
         quiet;
+        snapshot_every;
       }
   in
   Server.stop srv;

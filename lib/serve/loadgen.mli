@@ -44,6 +44,11 @@ type config = {
       (** Monotonic time source — {!Clock.monotonic} by default;
           substitutable so selftests are deterministic. *)
   quiet : bool;  (** Suppress the once-a-second progress line. *)
+  snapshot_every : float;
+      (** Capture a metrics snapshot every this many seconds while the
+          run is in flight (plus one final snapshot); [0.] (default)
+          captures nothing.  The series lands in {!result.snapshots} and
+          is what {!write_journal} persists. *)
 }
 
 val default_config : config
@@ -63,6 +68,9 @@ type result = {
   p99 : float;
   p999 : float;  (** Latency quantiles, seconds. *)
   metrics : Metrics.t;  (** The full registry behind the summary. *)
+  snapshots : (float * (string * float) list) list;
+      (** In-run metric snapshots as [(elapsed seconds, registry dump)],
+          oldest first; empty unless [config.snapshot_every > 0]. *)
 }
 
 val run : config -> result
@@ -77,8 +85,11 @@ val result_csv : result -> string
 (** ["metric,value"] lines — the CI artifact format. *)
 
 val write_journal : path:string -> result -> unit
-(** Append the result's metrics snapshot as a
-    {!Aqt_harness.Journal.Snapshot} labelled ["loadgen"]. *)
+(** Append the result's metric series as
+    {!Aqt_harness.Journal.Snapshot} events labelled ["loadgen"] — one
+    per entry of {!result.snapshots}, each with an ["elapsed_s"] value
+    prepended so readers can reconstruct the time axis without the wall
+    clock.  With no in-run snapshots, appends a single final snapshot. *)
 
 val selftest :
   ?quiet:bool ->
@@ -86,6 +97,7 @@ val selftest :
   ?conns:int ->
   ?rho:float ->
   ?sigma:int ->
+  ?snapshot_every:float ->
   ?emit:(result -> unit) ->
   unit ->
   bool

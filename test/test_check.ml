@@ -141,11 +141,12 @@ let family_label_prefix f =
   | Gen.Capacity_regime -> "capacity"
   | Gen.Local_bursty -> "local-burst"
   | Gen.Feedback_routing -> "feedback"
+  | Gen.Fabric -> "fabric"
 
 let gen_all_families_reachable () =
-  (* Unrestricted generation reaches all seven families in a modest seed
+  (* Unrestricted generation reaches all eight families in a modest seed
      block, and a restricted draw yields only the requested family. *)
-  let seen = Hashtbl.create 7 in
+  let seen = Hashtbl.create 8 in
   for seed = 0 to 199 do
     let s = Gen.generate seed in
     List.iter
@@ -158,7 +159,7 @@ let gen_all_families_reachable () =
       Gen.all_families
   done;
   (* "local-burst" also prefixes "local"; count distinct family keys. *)
-  check_bool "all seven families reachable" true (Hashtbl.length seen >= 7);
+  check_bool "all eight families reachable" true (Hashtbl.length seen >= 8);
   List.iter
     (fun f ->
       for seed = 0 to 15 do
@@ -207,7 +208,7 @@ let gen_scenarios_self_admissible () =
         | Gen.Local_ok { rate; sigmas } ->
             check_bool (name "local") true
               (RC.check_local ~rate ~sigmas log = Ok ())
-        | Gen.Dwell_bound _ -> ())
+        | Gen.Dwell_bound _ | Gen.Routes_valid | Gen.Drop_accounting -> ())
       s.Gen.obligations
   done
 

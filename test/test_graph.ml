@@ -159,6 +159,154 @@ let build_in_tree () =
     t.leaves;
   check_int "root alpha" 2 (D.in_degree t.graph t.root)
 
+(* Parameter validation (clear messages, not asserts). *)
+
+let builder_rejects () =
+  Alcotest.check_raises "grid zero rows"
+    (Invalid_argument
+       "Build.grid: rows and cols must be >= 1 (got rows=0 cols=4)")
+    (fun () -> ignore (B.grid ~rows:0 ~cols:4));
+  Alcotest.check_raises "torus thin"
+    (Invalid_argument
+       "Build.torus: rows and cols must be >= 2 (got rows=1 cols=5)")
+    (fun () -> ignore (B.torus ~rows:1 ~cols:5));
+  Alcotest.check_raises "fat tree odd"
+    (Invalid_argument "Build.fat_tree: k must be even and >= 2 (got 3)")
+    (fun () -> ignore (B.fat_tree ~k:3));
+  Alcotest.check_raises "fat tree non-positive"
+    (Invalid_argument "Build.fat_tree: k must be even and >= 2 (got 0)")
+    (fun () -> ignore (B.fat_tree ~k:0));
+  Alcotest.check_raises "spine-leaf no spines"
+    (Invalid_argument "Build.spine_leaf: need at least one spine (got 0)")
+    (fun () -> ignore (B.spine_leaf ~spines:0 ~leaves:2 ~hosts_per_leaf:1));
+  Alcotest.check_raises "spine-leaf no leaves"
+    (Invalid_argument "Build.spine_leaf: need at least one leaf (got -1)")
+    (fun () -> ignore (B.spine_leaf ~spines:1 ~leaves:(-1) ~hosts_per_leaf:1));
+  Alcotest.check_raises "spine-leaf no hosts"
+    (Invalid_argument
+       "Build.spine_leaf: need at least one host per leaf (got 0)")
+    (fun () -> ignore (B.spine_leaf ~spines:1 ~leaves:2 ~hosts_per_leaf:0))
+
+(* Datacenter fabrics *)
+
+let check_all_routes (f : B.fabric) =
+  let n = Array.length f.hosts in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let routes = f.routes ~src ~dst in
+        check_int "ecmp_degree matches" (Array.length routes)
+          (f.ecmp_degree ~src ~dst);
+        check_bool "at least one route" true (Array.length routes > 0);
+        Array.iter
+          (fun route ->
+            check_bool "route is a simple path" true
+              (D.route_is_simple f.graph route);
+            check_int "route starts at src host" f.hosts.(src)
+              (D.src f.graph route.(0));
+            check_int "route ends at dst host" f.hosts.(dst)
+              (D.dst f.graph route.(Array.length route - 1)))
+          routes;
+        (* ECMP draws stay inside the candidate set and are seed-stable. *)
+        let r1 = B.ecmp_route f ~seed:7 ~src ~dst ~flow:3 in
+        let r2 = B.ecmp_route f ~seed:7 ~src ~dst ~flow:3 in
+        check_bool "ecmp deterministic" true (r1 == r2 || r1 = r2)
+      end
+    done
+  done
+
+let build_spine_leaf () =
+  let s = 3 and l = 4 and h = 2 in
+  let f = B.spine_leaf ~spines:s ~leaves:l ~hosts_per_leaf:h in
+  check_int "nodes" (s + l + (l * h)) (D.n_nodes f.graph);
+  check_int "edges" ((2 * s * l) + (2 * l * h)) (D.n_edges f.graph);
+  check_int "hosts" (l * h) (Array.length f.hosts);
+  check_int "switches" (s + l) (Array.length f.switches);
+  (* Same-leaf pairs have one 2-hop route; cross-leaf pairs fan over
+     every spine with 4 hops. *)
+  check_int "same-leaf degree" 1 (f.ecmp_degree ~src:0 ~dst:1);
+  check_int "same-leaf hops" 2 (Array.length (f.routes ~src:0 ~dst:1).(0));
+  check_int "cross-leaf degree" s (f.ecmp_degree ~src:0 ~dst:h);
+  check_int "cross-leaf hops" 4 (Array.length (f.routes ~src:0 ~dst:h).(0));
+  check_all_routes f
+
+let build_fat_tree () =
+  let k = 4 in
+  let half = k / 2 in
+  let f = B.fat_tree ~k in
+  check_int "hosts" (k * k * k / 4) (Array.length f.hosts);
+  check_int "switches" ((half * half) + (k * k)) (Array.length f.switches);
+  check_int "nodes"
+    ((half * half) + (k * k) + (k * k * k / 4))
+    (D.n_nodes f.graph);
+  check_int "edges" (3 * k * k * k / 2) (D.n_edges f.graph);
+  (* ECMP degrees: same edge switch 1, same pod k/2, cross pod (k/2)^2. *)
+  check_int "same edge-switch degree" 1 (f.ecmp_degree ~src:0 ~dst:1);
+  check_int "same-pod degree" half (f.ecmp_degree ~src:0 ~dst:half);
+  check_int "cross-pod degree" (half * half)
+    (f.ecmp_degree ~src:0 ~dst:(half * half));
+  check_int "same edge-switch hops" 2
+    (Array.length (f.routes ~src:0 ~dst:1).(0));
+  check_int "same-pod hops" 4 (Array.length (f.routes ~src:0 ~dst:half).(0));
+  check_int "cross-pod hops" 6
+    (Array.length (f.routes ~src:0 ~dst:(half * half)).(0));
+  check_all_routes f
+
+let prop_spine_leaf_counts =
+  QCheck.Test.make ~name:"spine_leaf closed-form counts" ~count:50
+    (QCheck.triple (QCheck.int_range 1 6) (QCheck.int_range 1 6)
+       (QCheck.int_range 1 4))
+    (fun (s, l, h) ->
+      let f = B.spine_leaf ~spines:s ~leaves:l ~hosts_per_leaf:h in
+      D.n_nodes f.graph = s + l + (l * h)
+      && D.n_edges f.graph = (2 * s * l) + (2 * l * h)
+      && Array.length f.hosts = l * h)
+
+let prop_fabric_routes_simple =
+  QCheck.Test.make ~name:"fabric routes are simple host-to-host paths"
+    ~count:60
+    (QCheck.triple (QCheck.int_range 1 4) (QCheck.int_range 2 5)
+       (QCheck.int_range 1 3))
+    (fun (s, l, h) ->
+      let f = B.spine_leaf ~spines:s ~leaves:l ~hosts_per_leaf:h in
+      let n = Array.length f.hosts in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then
+            Array.iter
+              (fun route ->
+                ok :=
+                  !ok
+                  && D.route_is_simple f.graph route
+                  && D.src f.graph route.(0) = f.hosts.(src)
+                  && D.dst f.graph route.(Array.length route - 1)
+                     = f.hosts.(dst))
+              (f.routes ~src ~dst)
+        done
+      done;
+      !ok)
+
+let prop_fat_tree_ecmp_degree =
+  QCheck.Test.make ~name:"fat_tree ECMP path counts" ~count:20
+    (QCheck.pair
+       (QCheck.map (fun i -> 2 * i) (QCheck.int_range 1 3))
+       (QCheck.int_range 0 1_000_000))
+    (fun (k, salt) ->
+      let half = k / 2 in
+      let f = B.fat_tree ~k in
+      let n = Array.length f.hosts in
+      let src = salt mod n in
+      let dst = (salt / n) mod n in
+      src = dst
+      ||
+      let expected =
+        if src / half = dst / half then 1
+        else if src / (half * half) = dst / (half * half) then half
+        else half * half
+      in
+      f.ecmp_degree ~src ~dst = expected)
+
 let prop_random_dag =
   QCheck.Test.make ~name:"random_dag is a DAG" ~count:50
     (QCheck.pair (QCheck.int_range 1 25) (QCheck.int_range 0 100))
@@ -199,7 +347,16 @@ let () =
           Alcotest.test_case "parallel paths" `Quick build_parallel;
           Alcotest.test_case "grid" `Quick build_grid;
           Alcotest.test_case "in-tree" `Quick build_in_tree;
+          Alcotest.test_case "rejections" `Quick builder_rejects;
           q prop_random_dag;
           q prop_shortest_path_minimal;
+        ] );
+      ( "fabrics",
+        [
+          Alcotest.test_case "spine-leaf" `Quick build_spine_leaf;
+          Alcotest.test_case "fat-tree" `Quick build_fat_tree;
+          q prop_spine_leaf_counts;
+          q prop_fabric_routes_simple;
+          q prop_fat_tree_ecmp_degree;
         ] );
     ]
